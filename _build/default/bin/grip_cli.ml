@@ -1,0 +1,184 @@
+(* grip — command-line driver for the GRiP VLIW pipeliner.
+
+   Subcommands:
+     compile  FILE.mc          parse/typecheck/lower a minic kernel
+     schedule (FILE.mc | LLn)  pipeline a kernel and report
+     simulate (FILE.mc | LLn)  execute sequential vs scheduled
+     list                      list the built-in kernels             *)
+
+open Cmdliner
+module Machine = Vliw_machine.Machine
+module Pipeline = Grip.Pipeline
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+(* resolve a kernel argument: a Livermore name, a paper example, or a
+   minic source file *)
+let resolve name =
+  match Workloads.Livermore.find name with
+  | Some e -> Ok (e.Workloads.Livermore.kernel, e.Workloads.Livermore.data)
+  | None -> (
+      match name with
+      | "abc" ->
+          Ok (Workloads.Paper_examples.abc, Grip.Kernel.default_data)
+      | "abcdefg" ->
+          Ok (Workloads.Paper_examples.abcdefg, Grip.Kernel.default_data)
+      | file when Sys.file_exists file -> (
+          match Minic.Compile.kernel_of_string (read_file file) with
+          | Ok out -> Ok (out.Minic.Compile.kernel, out.Minic.Compile.data)
+          | Error e -> Error (Format.asprintf "%a" Minic.Compile.pp_error e))
+      | other ->
+          Error
+            (Printf.sprintf
+               "%S is neither a built-in kernel (LL1..LL14, abc, abcdefg) nor \
+                a readable file"
+               other))
+
+let kernel_arg =
+  let doc = "Kernel: LL1..LL14, abc, abcdefg, or a minic source file." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let fus_arg =
+  let doc = "Number of homogeneous functional units." in
+  Arg.(value & opt int 4 & info [ "fus"; "f" ] ~docv:"N" ~doc)
+
+let method_arg =
+  let methods =
+    [
+      ("grip", Pipeline.Grip);
+      ("grip-no-gap", Pipeline.Grip_no_gap);
+      ("post", Pipeline.Post);
+      ("unifiable", Pipeline.Unifiable);
+    ]
+  in
+  let doc = "Scheduling technique: grip, grip-no-gap, post or unifiable." in
+  Arg.(value & opt (enum methods) Pipeline.Grip & info [ "method"; "m" ] ~doc)
+
+let horizon_arg =
+  let doc = "Unwinding horizon (iterations); default scales with the machine." in
+  Arg.(value & opt (some int) None & info [ "horizon" ] ~docv:"H" ~doc)
+
+let table_arg =
+  let doc = "Print the iteration/instruction schedule table." in
+  Arg.(value & flag & info [ "table"; "t" ] ~doc)
+
+(* -- compile ------------------------------------------------------------- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minic source file")
+  in
+  let run file =
+    match Minic.Compile.kernel_of_string (read_file file) with
+    | Error e ->
+        Format.eprintf "%a@." Minic.Compile.pp_error e;
+        exit 1
+    | Ok out ->
+        let k = out.Minic.Compile.kernel in
+        Format.printf "kernel %s: %d pre ops, %d body ops, %d arrays@."
+          k.Grip.Kernel.name
+          (List.length k.Grip.Kernel.pre)
+          (List.length k.Grip.Kernel.body)
+          (List.length k.Grip.Kernel.arrays);
+        List.iter
+          (fun kind -> Format.printf "  %a@." Vliw_ir.Operation.pp_kind kind)
+          k.Grip.Kernel.body
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Parse, typecheck and lower a minic kernel")
+    Term.(const run $ file)
+
+(* -- schedule ------------------------------------------------------------ *)
+
+let schedule_run kernel fus method_ horizon table =
+  match resolve kernel with
+  | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 1
+  | Ok (kern, data) ->
+      let machine = Machine.homogeneous fus in
+      let o = Pipeline.run kern ~machine ~method_ ?horizon in
+      if table then
+        Format.printf "%s@."
+          (Grip.Schedule_table.render
+             ~jump_pos:(List.length kern.Grip.Kernel.body)
+             o.Pipeline.program);
+      let m = Pipeline.measure ~data o in
+      Format.printf "%s on %a with %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
+        kern.Grip.Kernel.name Machine.pp machine
+        (Pipeline.method_name method_) m.Grip.Speedup.speedup
+        m.Grip.Speedup.seq_per_iter m.Grip.Speedup.sched_per_iter;
+      (match o.Pipeline.pattern with
+      | Some p ->
+          Format.printf "converged: %d row(s) per %d iteration(s) from row %d@."
+            p.Grip.Convergence.period p.Grip.Convergence.delta
+            (p.Grip.Convergence.start + 1)
+      | None -> Format.printf "no repeating pattern@.");
+      (match Pipeline.check ~data o with
+      | Ok _ -> Format.printf "oracle: OK@."
+      | Error ms ->
+          Format.printf "oracle: %d mismatches@." (List.length ms);
+          exit 1);
+      Format.printf "scheduling time: %.3fs@." o.Pipeline.wall_seconds
+
+let schedule_cmd =
+  Cmd.v
+    (Cmd.info "schedule" ~doc:"Pipeline a kernel and report speedup")
+    Term.(
+      const schedule_run $ kernel_arg $ fus_arg $ method_arg $ horizon_arg
+      $ table_arg)
+
+(* -- simulate ------------------------------------------------------------ *)
+
+let simulate_run kernel fus n =
+  match resolve kernel with
+  | Error msg ->
+      Format.eprintf "%s@." msg;
+      exit 1
+  | Ok (kern, data) ->
+      let machine = Machine.homogeneous fus in
+      let horizon = max 18 (n + 2) in
+      let o = Pipeline.run kern ~machine ~method_:Pipeline.Grip ~horizon in
+      let rolled = (Grip.Kernel.rolled kern).Vliw_ir.Builder.program in
+      let cycles prog =
+        let st = Grip.Kernel.initial_state ~n kern ~data in
+        (Vliw_sim.Exec.run prog st).Vliw_sim.Exec.cycles
+      in
+      let c_seq = cycles rolled and c_sched = cycles o.Pipeline.program in
+      Format.printf
+        "%s, %d iterations: sequential %d cycles, scheduled %d cycles (%.2fx)@."
+        kern.Grip.Kernel.name n c_seq c_sched
+        (float_of_int c_seq /. float_of_int c_sched)
+
+let simulate_cmd =
+  let n_arg =
+    Arg.(value & opt int 12 & info [ "n" ] ~docv:"N" ~doc:"Trip count to execute.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Execute sequential vs scheduled code")
+    Term.(const simulate_run $ kernel_arg $ fus_arg $ n_arg)
+
+(* -- list ----------------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "paper examples: abc, abcdefg@.";
+    List.iter
+      (fun (e : Workloads.Livermore.entry) ->
+        Format.printf "%-6s %s@." e.Workloads.Livermore.kernel.Grip.Kernel.name
+          e.Workloads.Livermore.kernel.Grip.Kernel.description)
+      Workloads.Livermore.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List built-in kernels") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "grip" ~version:"1.0.0"
+      ~doc:"Global Resource-constrained Percolation scheduling for VLIW loops"
+  in
+  exit (Cmd.eval (Cmd.group info [ compile_cmd; schedule_cmd; simulate_cmd; list_cmd ]))

@@ -1,0 +1,1 @@
+examples/compile_and_schedule.ml: Format Grip List Minic Sys Vliw_ir Vliw_machine Vliw_sim

@@ -1,0 +1,1 @@
+examples/custom_heuristic.ml: Format Grip List Operation Option Vliw_ir Vliw_machine Workloads

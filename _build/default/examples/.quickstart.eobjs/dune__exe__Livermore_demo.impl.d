@@ -1,0 +1,1 @@
+examples/livermore_demo.ml: Array Format Grip List Printf Sys Vliw_machine Workloads

@@ -1,0 +1,1 @@
+examples/pipelining_tour.ml: Format Grip List Printf Vliw_machine Workloads

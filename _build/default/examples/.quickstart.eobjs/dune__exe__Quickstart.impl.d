@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Grip List Opcode Operand Operation Reg Value Vliw_ir Vliw_machine Vliw_sim

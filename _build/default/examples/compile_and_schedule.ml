@@ -1,0 +1,67 @@
+(* The whole stack, front end first: compile a minic kernel from
+   source, run the scalar optimizer, pipeline with GRiP and validate.
+
+     dune exec examples/compile_and_schedule.exe          # built-in demo
+     dune exec examples/compile_and_schedule.exe FILE.mc  # your kernel *)
+
+module Machine = Vliw_machine.Machine
+module Pipeline = Grip.Pipeline
+
+let demo_src =
+  {|
+// A five-point smoothing kernel.
+kernel smooth {
+  param w0 : float = 0.4;
+  param w1 : float = 0.2;
+  param w2 : float = 0.1;
+  array u[160];
+  array v[160];
+  for k = 2 to n {
+    v[k] = w0 * u[k]
+         + w1 * (u[k-1] + u[k+1])
+         + w2 * (u[k-2] + u[k+2]);
+  }
+}
+|}
+
+let () =
+  let src =
+    match Sys.argv with
+    | [| _; file |] ->
+        let ic = open_in file in
+        let len = in_channel_length ic in
+        let s = really_input_string ic len in
+        close_in ic;
+        s
+    | _ -> demo_src
+  in
+  match Minic.Compile.kernel_of_string src with
+  | Error e -> Format.printf "compilation failed: %a@." Minic.Compile.pp_error e
+  | Ok out ->
+      let kern = out.Minic.Compile.kernel in
+      Format.printf "compiled kernel %S: %d pre ops, %d body ops@."
+        kern.Grip.Kernel.name
+        (List.length kern.Grip.Kernel.pre)
+        (List.length kern.Grip.Kernel.body);
+      let s = out.Minic.Compile.opt_stats in
+      Format.printf "front-end optimizer: %d folded, %d propagated, %d CSE, %d dead@."
+        s.Minic.Opt.folded s.Minic.Opt.propagated s.Minic.Opt.cse s.Minic.Opt.dead;
+      List.iter
+        (fun (kind : Vliw_ir.Operation.kind) ->
+          Format.printf "  %a@." Vliw_ir.Operation.pp_kind kind)
+        kern.Grip.Kernel.body;
+      let machine = Machine.homogeneous 4 in
+      let o = Pipeline.run kern ~machine ~method_:Pipeline.Grip in
+      let m = Pipeline.measure ~data:out.Minic.Compile.data o in
+      Format.printf "@.GRiP on %a: speedup %.2f (%.2f -> %.2f cycles/iter)@."
+        Machine.pp machine m.Grip.Speedup.speedup m.Grip.Speedup.seq_per_iter
+        m.Grip.Speedup.sched_per_iter;
+      (match o.Pipeline.pattern with
+      | Some p ->
+          Format.printf "converged: %d row(s) / %d iteration(s)@."
+            p.Grip.Convergence.period p.Grip.Convergence.delta
+      | None -> Format.printf "no convergence@.");
+      match Pipeline.check ~data:out.Minic.Compile.data o with
+      | Ok _ -> Format.printf "oracle: OK@."
+      | Error ms ->
+          List.iter (fun m -> Format.printf "oracle: %a@." Vliw_sim.Oracle.pp_mismatch m) ms

@@ -1,0 +1,47 @@
+(* Schedule Livermore kernels with all three techniques and compare.
+
+     dune exec examples/livermore_demo.exe            # a default trio
+     dune exec examples/livermore_demo.exe LL7 LL11   # pick kernels  *)
+
+module Machine = Vliw_machine.Machine
+module Pipeline = Grip.Pipeline
+module Livermore = Workloads.Livermore
+
+let demo name =
+  match Livermore.find name with
+  | None -> Format.printf "unknown kernel %s (LL1..LL14)@." name
+  | Some e ->
+      let kern = e.Livermore.kernel in
+      Format.printf "@.%s — %s@." name kern.Grip.Kernel.description;
+      Format.printf "  body: %d operations/iteration (sequential: %d cycles)@."
+        (List.length kern.Grip.Kernel.body)
+        (Grip.Kernel.ops_per_iteration kern);
+      List.iter
+        (fun method_ ->
+          let o =
+            Pipeline.run kern ~machine:(Machine.homogeneous 4) ~method_
+          in
+          let m = Pipeline.measure ~data:e.Livermore.data o in
+          let ok =
+            match Pipeline.check ~data:e.Livermore.data o with
+            | Ok _ -> "ok"
+            | Error _ -> "MISMATCH"
+          in
+          Format.printf "  %-12s speedup %5.2f  (%5.2f cyc/iter, %s, %.2fs, oracle %s)@."
+            (Pipeline.method_name method_) m.Grip.Speedup.speedup
+            m.Grip.Speedup.sched_per_iter
+            (match o.Pipeline.static_cpi with
+            | Some c -> Printf.sprintf "cpi %.2f" c
+            | None -> "no pattern")
+            o.Pipeline.wall_seconds ok)
+        [ Pipeline.Grip; Pipeline.Post; Pipeline.Unifiable ];
+      let g2, g4, g8 = e.Livermore.paper_grip in
+      Format.printf "  paper (GRiP @ 2/4/8 FU): %.1f / %.1f / %.1f@." g2 g4 g8
+
+let () =
+  let names =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as rest) -> rest
+    | _ -> [ "LL1"; "LL5"; "LL11" ]
+  in
+  List.iter demo names

@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Operand Operation Reg String Value Vliw_ir

@@ -1,0 +1,1 @@
+lib/analysis/ddg.ml: Alias Array Format Hashtbl List Operation Reg String Vliw_ir

@@ -1,0 +1,1 @@
+lib/analysis/defuse.ml: List Node Operation Reg Vliw_ir

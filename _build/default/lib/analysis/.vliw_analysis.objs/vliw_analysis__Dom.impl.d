@@ -1,0 +1,1 @@
+lib/analysis/dom.ml: Hashtbl List Program Vliw_ir

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Defuse Hashtbl List Program Reg Vliw_ir

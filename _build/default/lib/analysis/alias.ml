@@ -1,0 +1,51 @@
+(** Memory disambiguation for word-addressed array accesses.
+
+    An address is normalised to (array, base register, total constant
+    offset) — folding a [Regoff] base into the offset — so that two
+    accesses based on the same register (typically the induction
+    variable after unwinding) are compared exactly by their constants.
+    Accesses to different arrays never alias (arrays are distinct
+    objects).  Addresses with incomparable bases are conservatively
+    assumed to alias — which is what makes the gather/scatter Livermore
+    kernels (LL13, LL14) expose little ILP, as in the paper. *)
+
+open Vliw_ir
+
+type norm =
+  | Based of Reg.t * int  (** register + constant *)
+  | Absolute of int  (** fully constant address *)
+  | Unknown
+
+let normalize (a : Operation.addr) =
+  match a.Operation.base with
+  | Operand.Reg r -> Based (r, a.Operation.offset)
+  | Operand.Regoff (r, c) -> Based (r, a.Operation.offset + c)
+  | Operand.Imm (Value.I n) -> Absolute (a.Operation.offset + n)
+  | Operand.Imm (Value.F _) -> Unknown
+
+(** [may_alias a b] — can the two addresses overlap? *)
+let may_alias (a : Operation.addr) (b : Operation.addr) =
+  if not (String.equal a.Operation.sym b.Operation.sym) then false
+  else
+    match normalize a, normalize b with
+    | Based (r, c), Based (s, d) when Reg.equal r s -> c = d
+    | Absolute c, Absolute d -> c = d
+    | (Based _ | Absolute _ | Unknown), _ -> true
+
+(** [must_alias a b] — do the two addresses certainly coincide?  Used
+    by redundant-load elimination and store-to-load forwarding. *)
+let must_alias (a : Operation.addr) (b : Operation.addr) =
+  String.equal a.Operation.sym b.Operation.sym
+  &&
+  match normalize a, normalize b with
+  | Based (r, c), Based (s, d) -> Reg.equal r s && c = d
+  | Absolute c, Absolute d -> c = d
+  | (Based _ | Absolute _ | Unknown), _ -> false
+
+(** [mem_conflict op1 op2] — ordering constraint between two memory
+    operations: at least one writes and the addresses may alias. *)
+let mem_conflict (op1 : Operation.t) (op2 : Operation.t) =
+  match Operation.mem_access op1, Operation.mem_access op2 with
+  | Some a1, Some a2 ->
+      (Operation.is_store op1 || Operation.is_store op2) && may_alias a1 a2
+  | _ -> false

@@ -1,0 +1,28 @@
+(** Per-node def/use summaries.
+
+    VLIW instruction semantics read all operands before storing any
+    result, so a node's [use] set contains every register read by any
+    of its operations — including registers the same node also writes
+    (the anti-dependence-within-instruction case the paper calls out as
+    legal). *)
+
+open Vliw_ir
+
+(** [use node] is the set of registers read by [node] (plain ops and
+    conditional jumps alike). *)
+let use (n : Node.t) =
+  List.fold_left
+    (fun acc op ->
+      List.fold_left (fun acc r -> Reg.Set.add r acc) acc (Operation.uses op))
+    Reg.Set.empty (Node.all_ops n)
+
+(** [def node] is the set of registers written by [node] on {e every}
+    path: only unguarded operations kill a register for liveness
+    purposes, since a guarded definition commits on some paths only. *)
+let def (n : Node.t) =
+  List.fold_left
+    (fun acc (op : Operation.t) ->
+      match Operation.def op with
+      | Some d when op.Operation.guard = [] -> Reg.Set.add d acc
+      | Some _ | None -> acc)
+    Reg.Set.empty n.Node.ops

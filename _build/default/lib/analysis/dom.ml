@@ -1,0 +1,66 @@
+(** Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm).
+
+    GRiP and Unifiable-ops scheduling both operate on "the subgraph
+    dominated by n"; this module provides the dominance test and the
+    listing of that subgraph. *)
+
+open Vliw_ir
+
+type t = {
+  idom : (int, int) Hashtbl.t;  (** immediate dominator; entry maps to itself *)
+  order : (int, int) Hashtbl.t;  (** RPO index, for intersection *)
+  entry : int;
+}
+
+(** [compute p] builds the dominator tree of the reachable part of
+    [p]. *)
+let compute (p : Program.t) =
+  let rpo = Program.rpo p in
+  let order = Hashtbl.create 64 in
+  List.iteri (fun i id -> Hashtbl.replace order id i) rpo;
+  let preds = Program.preds p in
+  let idom = Hashtbl.create 64 in
+  Hashtbl.replace idom p.Program.entry p.Program.entry;
+  let intersect a b =
+    let rec go a b =
+      if a = b then a
+      else
+        let oa = Hashtbl.find order a and ob = Hashtbl.find order b in
+        if oa > ob then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+    in
+    go a b
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun id ->
+        if id <> p.Program.entry then begin
+          let ps =
+            match Hashtbl.find_opt preds id with Some l -> l | None -> []
+          in
+          let processed = List.filter (Hashtbl.mem idom) ps in
+          match processed with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              (match Hashtbl.find_opt idom id with
+              | Some old when old = new_idom -> ()
+              | Some _ | None ->
+                  Hashtbl.replace idom id new_idom;
+                  changed := true)
+        end)
+      rpo
+  done;
+  { idom; order; entry = p.Program.entry }
+
+(** [dominates t a b] holds when every path from the entry to [b]
+    passes through [a] (reflexive: [dominates t a a]). *)
+let dominates t a b =
+  let rec up b = if b = a then true else if b = t.entry then false else up (Hashtbl.find t.idom b) in
+  if not (Hashtbl.mem t.idom b) then false else up b
+
+(** [dominated t p n] lists the node ids dominated by [n] (including
+    [n] itself), restricted to reachable nodes. *)
+let dominated t (p : Program.t) n =
+  List.filter (fun id -> dominates t n id) (Program.rpo p)

@@ -1,0 +1,1 @@
+lib/core/convergence.ml: Array Int List Schedule_table

@@ -1,0 +1,1 @@
+lib/core/gapless.ml: Ctree Hashtbl List Node Operation Program Vliw_analysis Vliw_ir Vliw_machine Vliw_percolation

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Builder List Opcode Operand Operation Reg Value Vliw_ir Vliw_sim

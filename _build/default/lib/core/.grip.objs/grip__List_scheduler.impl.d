@@ -1,0 +1,1 @@
+lib/core/list_scheduler.ml: Array Kernel List Vliw_analysis Vliw_ir Vliw_machine

@@ -1,0 +1,1 @@
+lib/core/modulo.ml: Array Format Kernel List Vliw_analysis Vliw_ir Vliw_machine

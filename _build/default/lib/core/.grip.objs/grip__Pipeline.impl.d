@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Convergence Kernel List Operation Option Post Program Rank Schedule_table Scheduler Speedup Unifiable Unix Unwind Vliw_analysis Vliw_ir Vliw_machine Vliw_percolation

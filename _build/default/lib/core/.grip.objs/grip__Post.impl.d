@@ -1,0 +1,1 @@
+lib/core/post.ml: Ctree Format Hashtbl List Node Operation Program Rank Scheduler Vliw_ir Vliw_machine Vliw_percolation

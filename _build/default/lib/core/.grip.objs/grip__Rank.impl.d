@@ -1,0 +1,1 @@
+lib/core/rank.ml: Array List Operation Vliw_analysis Vliw_ir

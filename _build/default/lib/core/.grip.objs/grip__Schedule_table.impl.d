@@ -1,0 +1,1 @@
+lib/core/schedule_table.ml: Buffer Char Ctree Hashtbl Int List Node Operation Printf Program String Vliw_ir

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Ctree Format Gapless Hashtbl List Node Operation Program Rank Vliw_analysis Vliw_ir Vliw_machine Vliw_percolation

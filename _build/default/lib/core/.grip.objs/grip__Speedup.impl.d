@@ -1,0 +1,1 @@
+lib/core/speedup.ml: Builder Kernel Vliw_ir Vliw_sim

@@ -1,0 +1,1 @@
+lib/core/unifiable.ml: Format Hashtbl List Node Operation Program Rank Vliw_analysis Vliw_ir Vliw_percolation

@@ -1,0 +1,1 @@
+lib/core/unwind.ml: Array Ctree Hashtbl Kernel List Node Opcode Operand Operation Program Reg Value Vliw_ir

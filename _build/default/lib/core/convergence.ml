@@ -1,0 +1,146 @@
+(** Perfect-Pipelining convergence detection (section 2; Figure 13's
+    "nodes 4 and 5 become the new loop body").
+
+    After scheduling an unwound loop, the instructions along the
+    internal path are fingerprinted by the multiset of
+    (body position, iteration − base) pairs they execute.  The loop has
+    converged when a window of [period] consecutive rows repeats with a
+    constant iteration shift [delta]: making that window the new loop
+    body yields a steady state executing [delta] iterations every
+    [period] cycles. *)
+
+type fingerprint = { cells : (int * int) list; base : int }
+(** normalised row content: (position, iteration − base), sorted *)
+
+type pattern = {
+  start : int;  (** row index (0-based) where the repeating window begins *)
+  period : int;  (** rows per repetition *)
+  delta : int;  (** iterations retired per repetition *)
+  repeats : int;  (** how many times the window was observed *)
+}
+
+(** Steady-state cost: cycles per loop iteration. *)
+let cycles_per_iteration p = float_of_int p.period /. float_of_int p.delta
+
+let fingerprint (r : Schedule_table.row) =
+  match r.Schedule_table.cells with
+  | [] -> None
+  | cells ->
+      let base = List.fold_left (fun b (_, i) -> min b i) max_int cells in
+      Some { cells = List.map (fun (p, i) -> (p, i - base)) cells; base }
+
+(** [detect ?body_positions rows] finds the earliest, shortest
+    repeating window.  Rows whose window would overlap the final
+    (horizon-truncated) iterations are not required to match, so
+    [ignore_tail] rows at the end are excluded from the search.
+
+    When [body_positions] is given, a window only counts as a
+    converged loop body if it contains every body position at least
+    [delta] times — a window that repeats but has shed part of the
+    iteration (the growing-gap pathology of Figure 9) is rejected, so
+    a schedule with unbounded gaps correctly reports
+    "no convergence". *)
+let detect ?(ignore_tail = 2) ?body_positions rows =
+  let fps = List.filter_map fingerprint rows in
+  let arr = Array.of_list fps in
+  let len = Array.length arr - ignore_tail in
+  (* Positions that must appear in a window: body positions still
+     present in the schedule's steady region.  Redundancy removal can
+     legitimately delete a position entirely (LL1's overlapping loads,
+     LL11's reload), so only positions that survive for most iterations
+     are demanded. *)
+  let required_positions =
+    match body_positions with
+    | None -> []
+    | Some nb ->
+        let iters_of pos =
+          Array.fold_left
+            (fun acc fp ->
+              List.fold_left
+                (fun acc (q, rel) ->
+                  if q = pos then
+                    List.sort_uniq Int.compare ((fp.base + rel) :: acc)
+                  else acc)
+                acc fp.cells)
+            [] arr
+        in
+        let max_iter =
+          Array.fold_left
+            (fun m fp ->
+              List.fold_left (fun m (_, rel) -> max m (fp.base + rel)) m fp.cells)
+            0 arr
+        in
+        List.filter
+          (fun pos -> 2 * List.length (iters_of pos) > max_iter)
+          (List.init nb (fun i -> i))
+  in
+  let window_complete s p d =
+    match body_positions with
+    | None -> true
+    | Some _ ->
+        let count pos =
+          List.fold_left
+            (fun acc t ->
+              acc
+              + List.length
+                  (List.filter (fun (q, _) -> q = pos) arr.(s + t).cells))
+            0
+            (List.init p (fun t -> t))
+        in
+        List.for_all (fun pos -> count pos >= d) required_positions
+  in
+  let matches s p =
+    (* rows s..s+p-1 must equal rows s+p..s+2p-1 with constant delta *)
+    if s + (2 * p) > len then None
+    else
+      let deltas =
+        List.init p (fun t ->
+            let a = arr.(s + t) and b = arr.(s + t + p) in
+            if a.cells = b.cells then Some (b.base - a.base) else None)
+      in
+      match deltas with
+      | Some d :: rest
+        when d > 0
+             && List.for_all (function Some d' -> d' = d | None -> false) rest
+             && window_complete s p d ->
+          Some d
+      | _ -> None
+  in
+  let best = ref None in
+  (try
+     for s = 0 to max 0 (len - 2) do
+       for p = 1 to (len - s) / 2 do
+         match !best, matches s p with
+         | None, Some d ->
+             (* count repetitions *)
+             let reps = ref 1 in
+             let t = ref (s + p) in
+             while matches !t p <> None do
+               incr reps;
+               t := !t + p
+             done;
+             best := Some { start = s; period = p; delta = d; repeats = !reps + 1 };
+             raise Exit
+         | _ -> ()
+       done
+     done
+   with Exit -> ());
+  !best
+
+(** [gaps rows] counts empty rows strictly between the first and last
+    non-empty rows — the artifact gap prevention exists to avoid
+    (Figure 9 vs Figure 13). *)
+let gaps rows =
+  let flags = List.map (fun r -> r.Schedule_table.cells = []) rows in
+  let arr = Array.of_list flags in
+  let n = Array.length arr in
+  let first = ref n and last = ref (-1) in
+  Array.iteri (fun i empty -> if not empty then begin
+        if !first = n then first := i;
+        last := i
+      end) arr;
+  let count = ref 0 in
+  for i = !first to !last do
+    if arr.(i) then incr count
+  done;
+  !count

@@ -1,0 +1,127 @@
+(** The Gapless-move test (paper section 3.3).
+
+    [ok ctx ~from_ ~to_ ~op] decides whether moving [op] up one node
+    can be allowed without risking a {e permanent} gap — an empty
+    instruction between two instructions holding operations of the same
+    iteration, which would prevent Perfect Pipelining from converging.
+    The four conditions, verbatim from the paper:
+
+    + [op] is the only operation scheduled at [from_] (the node will be
+      deleted, so no gap survives);
+    + more than one operation from [op]'s iteration is scheduled at
+      [from_];
+    + [op] is the last operation of its iteration (nothing of that
+      iteration exists below [from_]);
+    + some successor [s] of [from_] holds an operation [x] of the same
+      iteration that would be moveable into [from_] once [op] has left,
+      with [Gapless-move (s, from_, x)] holding recursively (Theorem 1
+      guarantees the transient gap can then be filled).
+
+    Condition 4's moveability question is answered by a localized
+    approximation of the {!Vliw_percolation.Move_op} legality test that
+    pretends [op] has already left [from_]; it errs on the side of
+    answering "no", which only suspends the operation until its
+    neighbours move — convergence is preserved, never correctness. *)
+
+open Vliw_ir
+module Alias = Vliw_analysis.Alias
+module Machine = Vliw_machine.Machine
+module Ctx = Vliw_percolation.Ctx
+
+let same_iter (a : Operation.t) iter = a.Operation.iter = iter
+
+(* Would [x] (currently in [s]) be moveable into [from_] if [op] were
+   gone?  Localized approximation: unguarded, no true/memory dependence
+   on the remaining operations, and room once [op]'s slot is free. *)
+let movable_ignoring (ctx : Ctx.t) ~from_node ~(x : Operation.t)
+    ~(ignoring : Operation.t) =
+  let remaining =
+    List.filter
+      (fun (o : Operation.t) -> o.Operation.id <> ignoring.Operation.id)
+      from_node.Node.ops
+  in
+  x.Operation.guard = []
+  && (not
+        (List.exists
+           (fun (o : Operation.t) ->
+             match Operation.def o with
+             | Some d ->
+                 Operation.reads_reg x d && not (Operation.is_copy o)
+             | None -> false)
+           remaining))
+  && (not (List.exists (fun o -> Alias.mem_conflict o x) remaining))
+  &&
+  (* op leaves a slot free that x can take *)
+  let m = ctx.Ctx.machine in
+  Machine.is_unlimited m
+  || Machine.slot_demand m (Program.node ctx.Ctx.program from_node.Node.id)
+     <= Machine.width m
+
+(** [ok ctx ~from_ ~to_ ~op] — see module comment.  Operations outside
+    any iteration (preamble) are never suspended. *)
+let ok (ctx : Ctx.t) ~from_ ~to_ ~(op : Operation.t) =
+  ignore to_;
+  let p = ctx.Ctx.program in
+  let iter = op.Operation.iter in
+  if iter = Operation.no_iter then true
+  else
+    let rec go ~from_ ~(op : Operation.t) depth =
+      let from_node = Program.node p from_ in
+      let all = Node.all_ops from_node in
+      (* 1: from_ will disappear *)
+      let cond1 =
+        if Operation.is_cjump op then
+          from_node.Node.ops = [] && Ctree.n_cjumps from_node.Node.ctree = 1
+        else
+          List.length from_node.Node.ops = 1
+          && Ctree.n_cjumps from_node.Node.ctree = 0
+      in
+      (* 2: another op of the same iteration stays at from_ *)
+      let cond2 =
+        List.length (List.filter (fun o -> same_iter o op.Operation.iter) all)
+        >= 2
+      in
+      (* 3: op is the last operation of its iteration *)
+      let cond3 () =
+        let visited = Hashtbl.create 32 in
+        let rec below id =
+          if Hashtbl.mem visited id || Program.is_exit p id then false
+          else begin
+            Hashtbl.replace visited id ();
+            let n = Program.node p id in
+            List.exists (fun o -> same_iter o op.Operation.iter) (Node.all_ops n)
+            || List.exists below (Program.succs p id)
+          end
+        in
+        not (List.exists below (Program.succs p from_))
+      in
+      (* 4: some successor holds a same-iteration op that can fill the
+         transient gap *)
+      let cond4 () =
+        depth < 8
+        && List.exists
+             (fun s ->
+               (not (Program.is_exit p s))
+               &&
+               let sn = Program.node p s in
+               let is_movable_shape (x : Operation.t) =
+                 if Operation.is_cjump x then
+                   (* only the root conditional of s can move *)
+                   match Ctree.root_cjump sn.Node.ctree with
+                   | Some root -> Operation.equal_id root x
+                   | None -> false
+                 else true
+               in
+               List.exists
+                 (fun (x : Operation.t) ->
+                   same_iter x op.Operation.iter
+                   && (not (Operation.equal_id x op))
+                   && is_movable_shape x
+                   && movable_ignoring ctx ~from_node ~x ~ignoring:op
+                   && go ~from_:s ~op:x (depth + 1))
+                 (Node.all_ops sn))
+             (Program.succs p from_)
+      in
+      cond1 || cond2 || cond3 () || cond4 ()
+    in
+    go ~from_ ~op 0

@@ -1,0 +1,62 @@
+(** Classic list scheduling of a single basic block — the non-pipelined
+    baseline (what a VLIW compiler without any software pipelining
+    achieves on the loop body).
+
+    Greedy cycle-by-cycle placement in priority order (dependence
+    height, as in section 3.4), one iteration at a time: the loop body
+    plus its control, no overlap across the back edge.  Reported as the
+    "1 iteration" row of the locality comparison bench. *)
+
+module Ddg = Vliw_analysis.Ddg
+module Machine = Vliw_machine.Machine
+
+type t = {
+  cycles : int;  (** cycles for one iteration *)
+  schedule : (int * int) list;  (** (body position, cycle) *)
+}
+
+(** [schedule kernel ~machine] — list-schedule one iteration. *)
+let schedule (k : Kernel.t) ~machine =
+  let kinds = k.Kernel.body @ Kernel.control k in
+  let ops =
+    List.mapi (fun i kind -> Vliw_ir.Operation.make ~id:i ~src_pos:i kind) kinds
+  in
+  let ddg = Ddg.build ~ivar:(k.Kernel.ivar, k.Kernel.step) ops in
+  let n = Array.length ddg.Ddg.ops in
+  let heights = Ddg.flow_height ddg in
+  let width = if Machine.is_unlimited machine then max_int else Machine.width machine in
+  let time = Array.make n (-1) in
+  let placed = ref 0 in
+  let cycle = ref 0 in
+  let usage = ref 0 in
+  let result = ref [] in
+  while !placed < n do
+    (* ready: all intra-iteration predecessors done strictly earlier *)
+    let ready =
+      List.filter
+        (fun pos ->
+          time.(pos) < 0
+          && List.for_all
+               (fun (a : Ddg.arc) ->
+                 a.Ddg.dist > 0
+                 || (a.Ddg.kind <> Ddg.Flow && a.Ddg.kind <> Ddg.Mem)
+                 || (time.(a.Ddg.src) >= 0 && time.(a.Ddg.src) < !cycle))
+               ddg.Ddg.preds.(pos))
+        (List.init n (fun i -> i))
+      |> List.sort (fun a b -> compare (-heights.(a), a) (-heights.(b), b))
+    in
+    match ready with
+    | pos :: _ when !usage < width ->
+        time.(pos) <- !cycle;
+        result := (pos, !cycle) :: !result;
+        incr placed;
+        incr usage
+    | _ ->
+        incr cycle;
+        usage := 0
+  done;
+  { cycles = !cycle + 1; schedule = List.rev !result }
+
+(** Speedup over one-operation-per-cycle sequential execution. *)
+let speedup (k : Kernel.t) t =
+  float_of_int (Kernel.ops_per_iteration k) /. float_of_int t.cycles

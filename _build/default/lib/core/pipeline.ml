@@ -1,0 +1,128 @@
+(** End-to-end driver: kernel -> unwind -> (redundancy removal) ->
+    schedule -> converge -> measure.
+
+    This is the top of the GRiP stack, tying together every piece the
+    paper describes: Perfect Pipelining by fixed unwinding, the GRiP or
+    baseline scheduler, convergence detection, and simulation-based
+    speedup measurement against the rolled sequential loop. *)
+
+open Vliw_ir
+module Machine = Vliw_machine.Machine
+module Ctx = Vliw_percolation.Ctx
+module Redundant = Vliw_percolation.Redundant
+module Ddg = Vliw_analysis.Ddg
+
+type method_ =
+  | Grip  (** resource-constrained GRiP with gap prevention *)
+  | Grip_no_gap  (** ablation: GRiP without the Gapless-move test *)
+  | Post  (** unconstrained pipelining + post-pass constraints *)
+  | Unifiable  (** the expensive Unifiable-ops baseline *)
+
+let method_name = function
+  | Grip -> "GRiP"
+  | Grip_no_gap -> "GRiP(no-gap)"
+  | Post -> "POST"
+  | Unifiable -> "Unifiable"
+
+type outcome = {
+  program : Program.t;  (** the scheduled unwound program *)
+  kernel : Kernel.t;
+  machine : Machine.t;
+  horizon : int;
+  method_ : method_;
+  pattern : Convergence.pattern option;
+  gaps : int;
+  static_cpi : float option;  (** cycles/iteration from the pattern *)
+  redundant_removed : int * int * int;  (** loads, copies, dead ops *)
+  wall_seconds : float;  (** scheduling time (the efficiency claim) *)
+}
+
+(** [ddg_of k] — dependence graph of the body plus its loop-control
+    conditional, with exact induction-based memory distances. *)
+let ddg_of (k : Kernel.t) =
+  let kinds = k.Kernel.body @ [ List.nth (Kernel.control k) 1 ] in
+  let ops = List.mapi (fun i kind -> Operation.make ~id:i ~src_pos:i kind) kinds in
+  Ddg.build ~ivar:(k.Kernel.ivar, k.Kernel.step) ops
+
+(** [default_rank k] — the section 3.4 heuristic instantiated for
+    [k]. *)
+let default_rank (k : Kernel.t) = Rank.section_3_4 ~ddg:(ddg_of k)
+
+(** [run ?rank ?horizon ?redundancy ?speculation k ~machine ~method_]
+    schedules kernel [k].  The default horizon scales with the machine
+    width so wide machines see enough iterations to converge;
+    [speculation] tunes the section 1 policy (GRiP methods only). *)
+let run ?rank ?horizon ?(redundancy = true)
+    ?(speculation = Scheduler.Always) (k : Kernel.t) ~machine ~method_ =
+  let rank = match rank with Some r -> r | None -> default_rank k in
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None -> max 18 ((2 * Machine.width machine) + 6)
+  in
+  let u = Unwind.build k ~horizon in
+  let p = u.Unwind.program in
+  let exit_live = Kernel.exit_live k in
+  let redundant_removed =
+    if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0)
+  in
+  let t0 = Unix.gettimeofday () in
+  (match method_ with
+  | Grip | Grip_no_gap ->
+      let ctx = Ctx.make p ~machine ~exit_live in
+      let config =
+        {
+          (Scheduler.default_config ~rank) with
+          Scheduler.gap_prevention = (method_ = Grip);
+          Scheduler.speculation = speculation;
+        }
+      in
+      ignore (Scheduler.run config ctx)
+  | Post ->
+      let ctx_unlimited = Ctx.make p ~machine:Machine.unlimited ~exit_live in
+      let ctx_real = Ctx.make p ~machine ~exit_live in
+      ignore (Post.run ctx_unlimited ctx_real ~rank)
+  | Unifiable ->
+      let ctx = Ctx.make p ~machine ~exit_live in
+      let config =
+        Unifiable.default_config ~rank ~ddg:(ddg_of k) ~horizon
+      in
+      ignore (Unifiable.run config ctx));
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let rows = Schedule_table.rows p in
+  let pattern =
+    Convergence.detect
+      ~body_positions:(List.length k.Kernel.body + 1)
+      rows
+  in
+  {
+    program = p;
+    kernel = k;
+    machine;
+    horizon;
+    method_;
+    pattern;
+    gaps = Convergence.gaps rows;
+    static_cpi = Option.map Convergence.cycles_per_iteration pattern;
+    redundant_removed;
+    wall_seconds;
+  }
+
+(** [measure outcome] — dynamic speedup from two trip counts deep in
+    the steady state.  [n2 - n1] is a multiple of 12, so exits land at
+    the same phase of any repeating pattern with delta in {1,2,3,4,6}
+    and the pipeline-drain epilogues cancel in the difference
+    quotient. *)
+let measure ?data (o : outcome) =
+  let n2 = o.horizon - 2 in
+  let n1 = if n2 > 13 then n2 - 12 else max 1 (n2 / 2) in
+  (* steady-state differencing is only sound when the schedule
+     converged (exits then drain through phase-equal epilogues); a
+     non-convergent schedule is charged its full execution *)
+  let steady = o.pattern <> None in
+  Speedup.measure ?data ~steady o.kernel ~scheduled:o.program ~n1 ~n2
+
+(** [check outcome] — oracle equivalence of the scheduled program
+    against the rolled loop. *)
+let check ?data (o : outcome) =
+  Speedup.verify ?data o.kernel ~scheduled:o.program ~n:(o.horizon - 2)

@@ -1,0 +1,81 @@
+(** Operation-ordering heuristics (paper section 3.4).
+
+    A rank is a total order on operations: "choose-op" picks the
+    minimum.  The paper's heuristic prefers
+
+    + earlier iterations over later ones (mandatory for Perfect
+      Pipelining: "all operations from iteration i have higher priority
+      than all operations from iteration j > i");
+    + longer data-dependence chains rooted at the operation;
+    + more dependents in the data-dependence graph;
+
+    with source position as the deterministic tie-break.  The heuristic
+    is "completely abstracted away from the actual transformations in
+    accordance with the hierarchical nature of Percolation Scheduling"
+    — any [t] plugs into the schedulers, and the examples demonstrate a
+    custom one. *)
+
+open Vliw_ir
+
+type t = {
+  name : string;
+  compare : Operation.t -> Operation.t -> int;  (** best first *)
+}
+
+let by_iteration (a : Operation.t) (b : Operation.t) =
+  compare a.Operation.iter b.Operation.iter
+
+let tie_break (a : Operation.t) (b : Operation.t) =
+  match compare a.Operation.src_pos b.Operation.src_pos with
+  | 0 -> compare a.Operation.id b.Operation.id
+  | c -> c
+
+(** The section 3.4 heuristic.  [ddg] and [body] describe the original
+    loop body; heights and dependent counts are keyed by lineage
+    (= body position), so they survive renaming and unwinding. *)
+let section_3_4 ~(ddg : Vliw_analysis.Ddg.t) =
+  let heights = Vliw_analysis.Ddg.flow_height ddg in
+  let deps = Vliw_analysis.Ddg.dependents ddg in
+  let info (op : Operation.t) =
+    let pos = op.Operation.lineage in
+    if pos >= 0 && pos < Array.length heights then (heights.(pos), deps.(pos))
+    else (0, 0)
+  in
+  {
+    name = "section-3.4";
+    compare =
+      (fun a b ->
+        match by_iteration a b with
+        | 0 ->
+            let ha, da = info a and hb, db = info b in
+            if ha <> hb then compare hb ha
+            else if da <> db then compare db da
+            else tie_break a b
+        | c -> c);
+  }
+
+(** Alphabetical / source order within an iteration: the rank used in
+    the paper's worked examples (Figures 8 and 11, "scheduling priority
+    is alphabetical order"). *)
+let source_order =
+  {
+    name = "source-order";
+    compare =
+      (fun a b ->
+        match by_iteration a b with 0 -> tie_break a b | c -> c);
+  }
+
+(** [custom ~name f] wraps a user comparison, still enforcing the
+    iteration-major order Perfect Pipelining requires. *)
+let custom ~name f =
+  {
+    name;
+    compare =
+      (fun a b ->
+        match by_iteration a b with
+        | 0 -> ( match f a b with 0 -> tie_break a b | c -> c)
+        | c -> c);
+  }
+
+(** [sort t ops] lists [ops] best-first. *)
+let sort t ops = List.stable_sort t.compare ops

@@ -1,0 +1,111 @@
+(** Rendering of schedules in the paper's figure style: rows are the
+    instructions along the loop's internal path, columns are unwound
+    iterations, and each cell names the body operations (A, B, C, ...
+    by body position) that instruction executes for that iteration —
+    the format of Figures 5, 9 and 13. *)
+
+open Vliw_ir
+
+(** [letter pos] is the display name of body position [pos]: A..Z then
+    [op<n>].  The loop-control conditional (last position) prints as
+    [j]. *)
+let letter ?(jump_pos = -1) pos =
+  if pos = jump_pos then "j"
+  else if pos >= 0 && pos < 26 then String.make 1 (Char.chr (Char.code 'a' + pos))
+  else Printf.sprintf "op%d" pos
+
+(* Follow the internal path: from the entry, at each branch prefer the
+   successor from which more nodes are reachable (the loop continuation
+   dominates any exit epilogue). *)
+let main_path (p : Program.t) =
+  let reach_count =
+    let memo = Hashtbl.create 64 in
+    fun start ->
+      match Hashtbl.find_opt memo start with
+      | Some c -> c
+      | None ->
+          let seen = Hashtbl.create 64 in
+          let rec go id =
+            if (not (Hashtbl.mem seen id)) && not (Program.is_exit p id) then begin
+              Hashtbl.replace seen id ();
+              List.iter go (Program.succs p id)
+            end
+          in
+          go start;
+          let c = Hashtbl.length seen in
+          Hashtbl.replace memo start c;
+          c
+  in
+  let rec go acc id =
+    if Program.is_exit p id || List.mem id acc then List.rev acc
+    else
+      let nexts =
+        List.filter (fun s -> not (Program.is_exit p s)) (Program.succs p id)
+      in
+      match nexts with
+      | [] -> List.rev (id :: acc)
+      | _ ->
+          let best =
+            List.fold_left
+              (fun b s -> if reach_count s > reach_count b then s else b)
+              (List.hd nexts) (List.tl nexts)
+          in
+          go (id :: acc) best
+  in
+  go [] p.Program.entry
+
+(** One rendered row: which (body position, iteration) pairs the
+    instruction holds. *)
+type row = { node : int; cells : (int * int) list (* (pos, iter) *) }
+
+let rows (p : Program.t) =
+  List.filter_map
+    (fun id ->
+      let n = Program.node p id in
+      let cells =
+        List.filter_map
+          (fun (op : Operation.t) ->
+            if op.Operation.iter = Operation.no_iter then None
+            else Some (op.Operation.src_pos, op.Operation.iter))
+          (Node.all_ops n)
+        |> List.sort compare
+      in
+      if cells = [] && n.Node.ops = [] && Ctree.n_cjumps n.Node.ctree = 0 then
+        None
+      else Some { node = id; cells })
+    (main_path p)
+
+(** [render ?jump_pos p] pretty-prints the iteration/instruction table
+    of [p]'s internal path. *)
+let render ?(jump_pos = -1) (p : Program.t) =
+  let rws = rows p in
+  let iters =
+    List.concat_map (fun r -> List.map snd r.cells) rws
+    |> List.sort_uniq Int.compare
+  in
+  let buf = Buffer.create 256 in
+  let cell r it =
+    let ops = List.filter (fun (_, i) -> i = it) r.cells |> List.map fst in
+    String.concat "" (List.map (letter ~jump_pos) (List.sort compare ops))
+  in
+  let widths =
+    List.map
+      (fun it ->
+        List.fold_left (fun w r -> max w (String.length (cell r it))) 2 rws)
+      iters
+  in
+  let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  Buffer.add_string buf (pad "row" 6);
+  List.iteri
+    (fun i it -> Buffer.add_string buf (pad (Printf.sprintf "i%d" it) (List.nth widths i + 1)))
+    iters;
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun ri r ->
+      Buffer.add_string buf (pad (string_of_int (ri + 1)) 6);
+      List.iteri
+        (fun i it -> Buffer.add_string buf (pad (cell r it) (List.nth widths i + 1)))
+        iters;
+      Buffer.add_char buf '\n')
+    rws;
+  Buffer.contents buf

@@ -1,0 +1,254 @@
+(** The GRiP scheduler (paper Figures 10 and 12).
+
+    Top-down traversal of the program: each node [n] is scheduled by
+    attempting to migrate to it, in ranked order, every operation of
+    the Moveable-ops set of [n] — all operations on the subgraph
+    dominated by [n] — until no further operation can be moved.
+    Compaction happens on the whole dominated subgraph as a side effect
+    of migration (operations that do not reach [n] stay wherever they
+    got to), which is exactly what distinguishes GRiP from the
+    Unifiable-ops technique and what lets it avoid maximal travel
+    distances.
+
+    With [gap_prevention] on, the Gapless-move test and the three
+    scheduling rules of section 3.3 are enforced:
+
+    + an operation may hop only when {!Gapless.ok} holds, else it is
+      suspended;
+    + after a successful move, all operations are unsuspended and
+      migration restarts in ranked order (inside a migration this is
+      the "at most one step while suspensions exist" early return);
+    + only operations below the lowest suspended operation may move. *)
+
+open Vliw_ir
+module Machine = Vliw_machine.Machine
+module Ctx = Vliw_percolation.Ctx
+module Migrate = Vliw_percolation.Migrate
+
+type stats = {
+  mutable nodes_scheduled : int;
+  mutable migrations : int;  (** migrate calls *)
+  mutable hops : int;  (** successful one-node moves *)
+  mutable reached : int;  (** migrations that reached their target *)
+  mutable suspensions : int;  (** gap-prevention suspensions *)
+  mutable resource_barrier_events : int;
+      (** hops blocked by a full node that was not the target — the
+          resource barriers of section 3.2 (measured for the ablation
+          bench) *)
+}
+
+let fresh_stats () =
+  {
+    nodes_scheduled = 0;
+    migrations = 0;
+    hops = 0;
+    reached = 0;
+    suspensions = 0;
+    resource_barrier_events = 0;
+  }
+
+(** Speculative-scheduling policy (section 1): a hop is speculative
+    when the operation lands on a conditional path of the target
+    instruction (it computes on cycles where its iteration may not
+    run).  The paper's GRiP "always allows speculative scheduling";
+    [Resource_aware threshold] is the sophistication the paper
+    sketches — "when a large number of resources are currently
+    available, it would be worthwhile to allow the speculative
+    scheduling of operations; on the other hand, with only a few
+    resources, it might be better to prohibit it": speculation is
+    allowed only while the landing instruction's occupancy is below
+    [threshold] of the issue width. *)
+type speculation =
+  | Always
+  | Resource_aware of float
+
+type config = {
+  rank : Rank.t;
+  gap_prevention : bool;
+  speculation : speculation;
+  max_migrations : int;  (** fuel against pathological graphs *)
+}
+
+let default_config ~rank =
+  {
+    rank;
+    gap_prevention = false;
+    speculation = Always;
+    max_migrations = 1_000_000;
+  }
+
+(* Does moving [op] from [from_] into [to_] make it speculative, and
+   does the policy allow that? *)
+let speculation_allows (config : config) (ctx : Ctx.t) ~from_ ~to_
+    ~(op : Operation.t) =
+  match config.speculation with
+  | Always -> true
+  | Resource_aware threshold -> (
+      let p = ctx.Ctx.program in
+      let to_node = Program.node p to_ in
+      match Ctree.path_to to_node.Node.ctree from_ with
+      | Some [] | None -> true (* lands unguarded: not speculative *)
+      | Some (_ :: _) ->
+          Operation.is_cjump op
+          ||
+          let m = ctx.Ctx.machine in
+          Machine.is_unlimited m
+          || float_of_int (Machine.slot_demand m to_node)
+             < threshold *. float_of_int (Machine.width m))
+
+(* Dominators cached by program version: scheduling leaf nodes makes no
+   moves, so consecutive schedule_node calls share the computation. *)
+let dom_cache :
+    (Program.t * int * Vliw_analysis.Dom.t) option ref =
+  ref None
+
+let dominators (p : Program.t) =
+  match !dom_cache with
+  | Some (p', v, dom) when p' == p && v = Program.version p -> dom
+  | _ ->
+      let dom = Vliw_analysis.Dom.compute p in
+      dom_cache := Some (p, Program.version p, dom);
+      dom
+
+(* The Moveable-ops set of [n]: every operation on the subgraph
+   dominated by [n], excluding those already in [n].  (Initialisation
+   per section 3.2; operations become unmoveable by being scheduled
+   into [n] or by failing their migration attempt, both of which the
+   driver tracks dynamically.) *)
+let moveable_ops (p : Program.t) dom n =
+  let region = Vliw_analysis.Dom.dominated dom p n in
+  List.concat_map
+    (fun id ->
+      if id = n || Program.is_exit p id then []
+      else Node.all_ops (Program.node p id))
+    region
+
+(** [schedule_node ?on_move config ctx stats n] fills node [n].  *)
+let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
+  let p = ctx.Ctx.program in
+  let dom = dominators p in
+  let initial = moveable_ops p dom n in
+  (* ranked queue of op ids; metadata re-fetched from the program *)
+  let suspended : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let attempted : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let fetch op_id =
+    match Program.home p op_id with
+    | None -> None
+    | Some home -> (
+        match Node.find_any (Program.node p home) op_id with
+        | Some op -> Some (home, op)
+        | None -> None)
+  in
+  let rpo_index () =
+    let tbl = Hashtbl.create 64 in
+    List.iteri (fun i id -> Hashtbl.replace tbl id i) (Program.rpo p);
+    tbl
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    (* rule 3 bookkeeping is only needed while suspensions exist *)
+    let node_order =
+      if Hashtbl.length suspended = 0 then fun _ -> 0
+      else
+        let idx = rpo_index () in
+        fun id ->
+          match Hashtbl.find_opt idx id with Some i -> i | None -> max_int
+    in
+    let lowest_suspended =
+      Hashtbl.fold
+        (fun op_id () acc ->
+          match fetch op_id with
+          | Some (home, _) -> max acc (node_order home)
+          | None -> acc)
+        suspended (-1)
+    in
+    (* candidates: alive, not yet in n, not suspended, not already
+       attempted since the last progress, rule 3 respected *)
+    let candidates =
+      List.filter_map
+        (fun (op : Operation.t) ->
+          if Hashtbl.mem attempted op.Operation.id then None
+          else if Hashtbl.mem suspended op.Operation.id then None
+          else
+            match fetch op.Operation.id with
+            | Some (home, op') when home <> n ->
+                if lowest_suspended >= 0 && node_order home <= lowest_suspended
+                then None
+                else Some op'
+            | Some _ | None -> None)
+        initial
+    in
+    match Rank.sort config.rank candidates with
+    | [] -> continue_ := false
+    | best :: _ ->
+        if stats.migrations >= config.max_migrations then continue_ := false
+        else begin
+          Hashtbl.replace attempted best.Operation.id ();
+          stats.migrations <- stats.migrations + 1;
+          let hooks =
+            {
+              Migrate.allow_hop =
+                (fun ~from_ ~to_ ~op ->
+                  speculation_allows config ctx ~from_ ~to_ ~op
+                  && ((not config.gap_prevention)
+                     || Gapless.ok ctx ~from_ ~to_ ~op));
+              Migrate.on_suspend =
+                (fun op ->
+                  stats.suspensions <- stats.suspensions + 1;
+                  Hashtbl.replace suspended op.Operation.id ());
+              Migrate.early_stop =
+                (fun ~moved -> moved > 0 && Hashtbl.length suspended > 0);
+            }
+          in
+          let r =
+            Migrate.migrate ctx ~hooks ~target:n ~op_id:best.Operation.id ()
+          in
+          stats.hops <- stats.hops + r.Migrate.moved;
+          if r.Migrate.reached_target then stats.reached <- stats.reached + 1;
+          (match r.Migrate.last_failure with
+          | Some "no free resources in to-node" ->
+              (* blocked by a full node short of the target: a resource
+                 barrier (section 3.2) *)
+              stats.resource_barrier_events <- stats.resource_barrier_events + 1
+          | Some _ | None -> ());
+          (match on_move with
+          | Some f when r.Migrate.moved > 0 -> f ~op:best ~outcome:r
+          | Some _ | None -> ());
+          if r.Migrate.moved > 0 && Hashtbl.length suspended > 0 then begin
+            (* rule 2: progress unsuspends everything; unsuspended ops
+               re-enter the ranked queue *)
+            Hashtbl.iter (fun op_id () -> Hashtbl.remove attempted op_id) suspended;
+            Hashtbl.reset suspended
+          end
+        end
+  done
+
+(** [run ?on_move config ctx] schedules the whole program top-down.
+    Nodes created during scheduling (splits, conditional-arm copies)
+    are scheduled when the traversal reaches them. *)
+let run ?on_move (config : config) (ctx : Ctx.t) =
+  let p = ctx.Ctx.program in
+  let stats = fresh_stats () in
+  let scheduled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let next () =
+    List.find_opt
+      (fun id -> (not (Program.is_exit p id)) && not (Hashtbl.mem scheduled id))
+      (Program.rpo p)
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some n ->
+        Hashtbl.replace scheduled n ();
+        schedule_node ?on_move config ctx stats n;
+        stats.nodes_scheduled <- stats.nodes_scheduled + 1;
+        loop ()
+  in
+  loop ();
+  stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "nodes=%d migrations=%d hops=%d reached=%d suspensions=%d barriers=%d"
+    s.nodes_scheduled s.migrations s.hops s.reached s.suspensions
+    s.resource_barrier_events

@@ -1,0 +1,134 @@
+(** The Unifiable-ops baseline (paper section 3.1, Figures 7 and 8).
+
+    The Unifiable-ops set of a node [n] is "the set of all operations
+    on the subgraph dominated by [n] that are not on the same data
+    dependency chain as any operation currently in [n]" — computed here
+    from the body's dependence graph expanded over unwound iteration
+    instances.
+
+    The scheduler moves only operations that will {e succeed} in
+    reaching the node being scheduled; an attempted migration that
+    falls short is rolled back (program snapshot/restore), so no
+    compaction ever happens below the current node and no resource
+    barrier can form.  Both properties are the expensive ones the paper
+    replaces: the benchmark harness measures this scheduler's cost
+    against GRiP's. *)
+
+open Vliw_ir
+module Ctx = Vliw_percolation.Ctx
+module Migrate = Vliw_percolation.Migrate
+module Ddg = Vliw_analysis.Ddg
+
+type stats = {
+  mutable nodes_scheduled : int;
+  mutable migrations : int;
+  mutable rollbacks : int;
+  mutable reached : int;
+  mutable set_computations : int;
+}
+
+let fresh_stats () =
+  {
+    nodes_scheduled = 0;
+    migrations = 0;
+    rollbacks = 0;
+    reached = 0;
+    set_computations = 0;
+  }
+
+(* Instance of an operation for chain tests: (body position, iteration);
+   straight-line code maps to iteration 0. *)
+let instance (op : Operation.t) =
+  (op.Operation.lineage, max op.Operation.iter 0)
+
+(** [set ctx ~ddg ~horizon n] — the Unifiable-ops set of node [n]. *)
+let set (ctx : Ctx.t) ~ddg ~horizon n =
+  let p = ctx.Ctx.program in
+  let dom = Vliw_analysis.Dom.compute p in
+  let region = Vliw_analysis.Dom.dominated dom p n in
+  let in_n = Node.all_ops (Program.node p n) in
+  let chained (op : Operation.t) =
+    List.exists
+      (fun (o : Operation.t) ->
+        Ddg.chain_related ddg ~horizon (instance o) (instance op))
+      in_n
+  in
+  List.concat_map
+    (fun id ->
+      if id = n || Program.is_exit p id then []
+      else
+        List.filter
+          (fun op -> not (chained op))
+          (Node.all_ops (Program.node p id)))
+    region
+
+type config = {
+  rank : Rank.t;
+  ddg : Ddg.t;
+  horizon : int;
+  max_migrations : int;
+}
+
+let default_config ~rank ~ddg ~horizon =
+  { rank; ddg; horizon; max_migrations = 1_000_000 }
+
+(** [schedule_node config ctx stats n] — Figure 7's [schedule(n)]:
+    while resources remain and the set is non-empty, choose the best
+    operation and migrate it; roll back if it fails to reach [n]. *)
+let schedule_node ?on_sched (config : config) (ctx : Ctx.t) stats n =
+  let p = ctx.Ctx.program in
+  let tried : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let continue_ = ref true in
+  while !continue_ && stats.migrations < config.max_migrations do
+    stats.set_computations <- stats.set_computations + 1;
+    let unifiable =
+      set ctx ~ddg:config.ddg ~horizon:config.horizon n
+      |> List.filter (fun (op : Operation.t) ->
+             not (Hashtbl.mem tried op.Operation.id))
+    in
+    match Rank.sort config.rank unifiable with
+    | [] -> continue_ := false
+    | best :: _ ->
+        Hashtbl.replace tried best.Operation.id ();
+        stats.migrations <- stats.migrations + 1;
+        let snap = Program.snapshot p in
+        let r = Migrate.migrate ctx ~target:n ~op_id:best.Operation.id () in
+        if r.Migrate.reached_target then begin
+          stats.reached <- stats.reached + 1;
+          match on_sched with Some f -> f ~op:best ~node:n | None -> ()
+        end
+        else if r.Migrate.moved > 0 then begin
+          (* fell short: undo, preserving "no compaction below n" *)
+          Program.restore p snap;
+          stats.rollbacks <- stats.rollbacks + 1
+        end
+  done
+
+(** [run ?on_sched config ctx] — top-down traversal, as in the GRiP
+    driver; [on_sched] fires after each operation reaches the node
+    being scheduled (used to render the Figure 8 trace). *)
+let run ?on_sched (config : config) (ctx : Ctx.t) =
+  let p = ctx.Ctx.program in
+  let stats = fresh_stats () in
+  let scheduled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let next () =
+    List.find_opt
+      (fun id -> (not (Program.is_exit p id)) && not (Hashtbl.mem scheduled id))
+      (Program.rpo p)
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some n ->
+        Hashtbl.replace scheduled n ();
+        schedule_node ?on_sched config ctx stats n;
+        stats.nodes_scheduled <- stats.nodes_scheduled + 1;
+        loop ()
+  in
+  loop ();
+  stats
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "nodes=%d migrations=%d rollbacks=%d reached=%d set-computations=%d"
+    s.nodes_scheduled s.migrations s.rollbacks s.reached s.set_computations

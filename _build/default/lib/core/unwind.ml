@@ -1,0 +1,185 @@
+(** Loop unwinding for Perfect Pipelining (section 2; "the loop body is
+    unwound a fixed number of times before scheduling", section 3.2).
+
+    The unwinder produces an acyclic program containing [horizon]
+    copies of the body, the front-end folding a real compiler would
+    perform already applied:
+
+    - iteration [j]'s uses of the induction register become
+      [Regoff (ivar, j*step)] (address-generation folding), so there
+      are no per-iteration increment chains and the alias analysis
+      disambiguates accesses across iterations exactly;
+    - body-local temporaries (registers defined before any read in the
+      body and not observable) are renamed per iteration, removing the
+      false anti/output dependencies unrolling would otherwise
+      manufacture;
+    - each iteration keeps its own copy of the loop-control conditional
+      — the "internalized loop control conditionals" of section 4 —
+      testing [ivar + (j+1)*step < bound], with the false arm leaving
+      for the exit.
+
+    The result is semantically equivalent to the rolled loop for any
+    trip count strictly below [horizon] (drivers enforce this), and
+    every operation is tagged with its [iter] and position-based
+    lineage for ranking, gap prevention and convergence detection. *)
+
+open Vliw_ir
+
+type t = {
+  program : Program.t;
+  horizon : int;
+  kernel : Kernel.t;
+  heads : int array;  (** first node id of each iteration copy *)
+}
+
+(* Registers written before ever being read inside the body (scan in
+   source order), excluding the induction register and observables:
+   safe to give each iteration its own copy. *)
+let body_locals (k : Kernel.t) =
+  let ops =
+    List.mapi (fun i kind -> Operation.make ~id:i ~src_pos:i kind) k.Kernel.body
+  in
+  let read_first = ref Reg.Set.empty and defined = ref Reg.Set.empty in
+  List.iter
+    (fun op ->
+      List.iter
+        (fun r ->
+          if not (Reg.Set.mem r !defined) then
+            read_first := Reg.Set.add r !read_first)
+        (Operation.uses op);
+      match Operation.def op with
+      | Some d -> defined := Reg.Set.add d !defined
+      | None -> ())
+    ops;
+  Reg.Set.filter
+    (fun r ->
+      (not (Reg.Set.mem r !read_first))
+      && (not (Reg.equal r k.Kernel.ivar))
+      && not (List.exists (Reg.equal r) k.Kernel.observable))
+    !defined
+
+(** [build k ~horizon] unwinds [k] into an acyclic program of
+    [horizon] iteration copies. *)
+let build (k : Kernel.t) ~horizon =
+  if horizon < 2 then invalid_arg "Unwind.build: horizon < 2";
+  let p = Program.create () in
+  (* Reserve every register the kernel mentions before drawing fresh
+     ones: iteration copies are created before any operation is
+     registered, so the automatic high-water mark has not seen the
+     kernel's registers yet. *)
+  let reserve kind =
+    let probe = Operation.make ~id:0 kind in
+    Program.note_op_regs p probe
+  in
+  List.iter reserve k.Kernel.pre;
+  List.iter reserve k.Kernel.body;
+  List.iter reserve (Kernel.control k);
+  List.iter
+    (fun r -> Program.note_op_regs p (Operation.make ~id:0 (Operation.Copy (r, Operand.Imm (Value.I 0)))))
+    (k.Kernel.ivar :: k.Kernel.observable);
+  let exit_ = p.Program.exit_id in
+  let locals = body_locals k in
+  (* preamble chain *)
+  let pre_ids =
+    List.map
+      (fun kind ->
+        (* lineage -1: preamble ops belong to no body position *)
+        let op =
+          Operation.make ~id:(Program.fresh_op_id p) ~lineage:(-1)
+            ~src_pos:(-1) kind
+        in
+        (Program.fresh_node p ~ops:[ op ] ~ctree:(Ctree.leaf exit_)).Node.id)
+      k.Kernel.pre
+  in
+  (* iteration copies, last first so each can point at its successor *)
+  let heads = Array.make horizon exit_ in
+  let next_head = ref exit_ in
+  for j = horizon - 1 downto 0 do
+    (* per-iteration renaming of body locals *)
+    let map = Hashtbl.create 8 in
+    Reg.Set.iter
+      (fun r ->
+        Hashtbl.replace map r (if j = 0 then r else Program.fresh_reg p))
+      locals;
+    let subst_reg r = match Hashtbl.find_opt map r with Some r' -> r' | None -> r in
+    let subst_operand o =
+      let o =
+        match o with
+        | Operand.Reg r -> Operand.Reg (subst_reg r)
+        | Operand.Regoff (r, c) -> Operand.Regoff (subst_reg r, c)
+        | Operand.Imm _ -> o
+      in
+      Operand.shift_reg o ~reg:k.Kernel.ivar ~by:(j * k.Kernel.step)
+    in
+    let instantiate pos kind =
+      let kind =
+        match kind with
+        | Operation.Binop (o, d, a, b) ->
+            Operation.Binop (o, subst_reg d, subst_operand a, subst_operand b)
+        | Operation.Unop (o, d, a) -> Operation.Unop (o, subst_reg d, subst_operand a)
+        | Operation.Copy (d, a) -> Operation.Copy (subst_reg d, subst_operand a)
+        | Operation.Load (d, a) ->
+            Operation.Load
+              (subst_reg d, { a with Operation.base = subst_operand a.Operation.base })
+        | Operation.Store (a, v) ->
+            Operation.Store
+              ({ a with Operation.base = subst_operand a.Operation.base },
+               subst_operand v)
+        | Operation.Cjump (r, a, b) ->
+            Operation.Cjump (r, subst_operand a, subst_operand b)
+      in
+      Operation.make ~id:(Program.fresh_op_id p) ~iter:j ~lineage:pos
+        ~src_pos:pos kind
+    in
+    (* the loop-control conditional of copy j: continue while
+       ivar + (j+1)*step < bound *)
+    let n_body = List.length k.Kernel.body in
+    let cj =
+      let kind =
+        Operation.Cjump
+          ( Opcode.Lt,
+            Operand.Regoff (k.Kernel.ivar, (j + 1) * k.Kernel.step),
+            k.Kernel.bound )
+      in
+      Operation.make ~id:(Program.fresh_op_id p) ~iter:j ~lineage:n_body
+        ~src_pos:n_body kind
+    in
+    let latch =
+      Program.fresh_node p ~ops:[]
+        ~ctree:(Ctree.Branch (cj, Ctree.Leaf !next_head, Ctree.Leaf exit_))
+    in
+    let body_ids =
+      List.mapi
+        (fun pos kind ->
+          (Program.fresh_node p
+             ~ops:[ instantiate pos kind ]
+             ~ctree:(Ctree.leaf exit_))
+            .Node.id)
+        k.Kernel.body
+    in
+    let rec link = function
+      | a :: (b :: _ as rest) ->
+          Program.redirect p ~from_:a ~old_:exit_ ~new_:b;
+          link rest
+      | [ a ] -> Program.redirect p ~from_:a ~old_:exit_ ~new_:latch.Node.id
+      | [] -> ()
+    in
+    link body_ids;
+    let head = match body_ids with h :: _ -> h | [] -> latch.Node.id in
+    heads.(j) <- head;
+    next_head := head
+  done;
+  (* chain entry -> pre -> iteration 0 *)
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        Program.redirect p ~from_:a ~old_:exit_ ~new_:b;
+        link rest
+    | [ a ] -> Program.redirect p ~from_:a ~old_:exit_ ~new_:heads.(0)
+    | [] -> ()
+  in
+  link (p.Program.entry :: pre_ids);
+  { program = p; horizon; kernel = k; heads }
+
+(** Operations per unwound iteration (body plus its conditional; the
+    increment is folded away). *)
+let ops_per_iteration t = List.length t.kernel.Kernel.body + 1

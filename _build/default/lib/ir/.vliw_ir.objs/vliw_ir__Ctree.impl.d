@@ -1,0 +1,1 @@
+lib/ir/ctree.ml: Format Int List Operation Printf

@@ -1,0 +1,1 @@
+lib/ir/node.ml: Ctree Format List Operation Option Reg

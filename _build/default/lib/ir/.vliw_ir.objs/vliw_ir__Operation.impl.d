@@ -1,0 +1,1 @@
+lib/ir/operation.ml: Format Int List Opcode Operand Option Reg

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Ctree Format Hashtbl Int List Node Operation Printf Reg

@@ -1,0 +1,1 @@
+lib/ir/wellformed.ml: Ctree Format Hashtbl List Node Operation Program Reg String

@@ -1,0 +1,108 @@
+(** Convenience constructors for program graphs.
+
+    Percolation Scheduling starts from a sequential program "wherein
+    each node contains a single operation" (paper, section 4); these
+    builders produce exactly that shape.  Tests, the paper's running
+    examples and the front end's lowering all construct programs through
+    here or through the {!Program} primitives. *)
+
+(** [straight ?first_reg kinds] is a straight-line program: an empty
+    entry node followed by one node per element of [kinds], falling
+    through to the exit sentinel.  [src_pos] is the list index.  Raises
+    [Invalid_argument] if any kind is a conditional jump. *)
+let straight ?(first_reg = 0) kinds =
+  let p = Program.create ~first_reg () in
+  List.iter
+    (fun k ->
+      match k with
+      | Operation.Cjump _ -> invalid_arg "Builder.straight: Cjump in body"
+      | _ -> ())
+    kinds;
+  let ops =
+    List.mapi
+      (fun i k -> Operation.make ~id:(Program.fresh_op_id p) ~src_pos:i k)
+      kinds
+  in
+  let ids =
+    List.map
+      (fun op ->
+        (Program.fresh_node p ~ops:[ op ] ~ctree:(Ctree.leaf p.Program.exit_id))
+          .Node.id)
+      ops
+  in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        Program.redirect p ~from_:a ~old_:p.Program.exit_id ~new_:b;
+        link rest
+    | [ _ ] | [] -> ()
+  in
+  link ids;
+  (match ids with
+  | first :: _ ->
+      Program.redirect p ~from_:p.Program.entry ~old_:p.Program.exit_id
+        ~new_:first
+  | [] -> ());
+  p
+
+(** The result of {!loop}: the program plus the ids a driver needs to
+    unwind or simulate the loop. *)
+type loop_shape = {
+  program : Program.t;
+  header : int;  (** first node of the loop body *)
+  latch : int;  (** node holding the back-edge conditional *)
+  body_ops : Operation.t list;  (** body ops in source order, jump last *)
+}
+
+(** [loop ?first_reg ~pre ~body ()] builds
+    [entry -> pre... -> header -> body... -> latch -(true)-> header],
+    with the latch's false edge going to the exit.  [body] must end
+    with a [Cjump] kind (the loop-control conditional, taken = another
+    iteration); no other element may be a jump.  [src_pos] numbers the
+    body from 0. *)
+let loop ?(first_reg = 0) ~pre ~body () =
+  let p = Program.create ~first_reg () in
+  let mk i k = Operation.make ~id:(Program.fresh_op_id p) ~src_pos:i k in
+  let rec split_last = function
+    | [] -> invalid_arg "Builder.loop: empty body"
+    | [ x ] -> ([], x)
+    | x :: rest ->
+        let init, last = split_last rest in
+        (x :: init, last)
+  in
+  let straight_kinds, jump_kind = split_last body in
+  (match jump_kind with
+  | Operation.Cjump _ -> ()
+  | _ -> invalid_arg "Builder.loop: body must end with a Cjump");
+  List.iter
+    (fun k ->
+      match k with
+      | Operation.Cjump _ -> invalid_arg "Builder.loop: interior Cjump"
+      | _ -> ())
+    (pre @ straight_kinds);
+  let pre_ops = List.mapi (fun i k -> mk (-List.length pre + i) k) pre in
+  let body_ops = List.mapi mk straight_kinds in
+  let jump_op = mk (List.length straight_kinds) jump_kind in
+  let exit_ = p.Program.exit_id in
+  let mk_node op = (Program.fresh_node p ~ops:[ op ] ~ctree:(Ctree.leaf exit_)).Node.id in
+  let pre_ids = List.map mk_node pre_ops in
+  let body_ids = List.map mk_node body_ops in
+  let header =
+    match body_ids with
+    | h :: _ -> h
+    | [] -> invalid_arg "Builder.loop: body has no operations"
+  in
+  let latch =
+    (Program.fresh_node p ~ops:[]
+       ~ctree:(Ctree.Branch (jump_op, Ctree.leaf header, Ctree.leaf exit_)))
+      .Node.id
+  in
+  let chain = (p.Program.entry :: pre_ids) @ body_ids in
+  let rec link = function
+    | a :: (b :: _ as rest) ->
+        Program.redirect p ~from_:a ~old_:exit_ ~new_:b;
+        link rest
+    | [ a ] -> Program.redirect p ~from_:a ~old_:exit_ ~new_:latch
+    | [] -> ()
+  in
+  link chain;
+  { program = p; header; latch; body_ops = body_ops @ [ jump_op ] }

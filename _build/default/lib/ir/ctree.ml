@@ -1,0 +1,113 @@
+(** Conditional trees.
+
+    Following the IBM VLIW model (Figure 1 of the paper), an instruction
+    selects its successor by evaluating a binary tree of conditional
+    jumps; each leaf names the next instruction.  A tree with a single
+    leaf is an unconditional fall-through. *)
+
+type t =
+  | Leaf of int  (** successor node id *)
+  | Branch of Operation.t * t * t
+      (** [Branch (cj, when_true, when_false)]; [cj] must be a [Cjump] *)
+
+(** [leaf n] is the trivial tree falling through to node [n]. *)
+let leaf n = Leaf n
+
+(** [cjumps t] lists the conditional-jump operations in [t],
+    pre-order. *)
+let rec cjumps = function
+  | Leaf _ -> []
+  | Branch (cj, a, b) -> (cj :: cjumps a) @ cjumps b
+
+(** [succs t] is the list of distinct successor node ids of [t]. *)
+let succs t =
+  let rec leaves = function
+    | Leaf n -> [ n ]
+    | Branch (_, a, b) -> leaves a @ leaves b
+  in
+  List.sort_uniq Int.compare (leaves t)
+
+(** [n_cjumps t] counts conditional jumps; this is the branch-resource
+    cost of the instruction holding [t]. *)
+let rec n_cjumps = function
+  | Leaf _ -> 0
+  | Branch (_, a, b) -> 1 + n_cjumps a + n_cjumps b
+
+(** [replace_leaf t ~old_ ~new_] redirects every leaf pointing at
+    [old_] to point at [new_]. *)
+let rec replace_leaf t ~old_ ~new_ =
+  match t with
+  | Leaf n -> if n = old_ then Leaf new_ else t
+  | Branch (cj, a, b) ->
+      Branch (cj, replace_leaf a ~old_ ~new_, replace_leaf b ~old_ ~new_)
+
+(** [points_to t n] holds when some leaf of [t] is [n]. *)
+let points_to t n = List.mem n (succs t)
+
+(** [map_cjumps f t] rewrites each conditional-jump operation with [f]
+    (used by renaming and copy forwarding). *)
+let rec map_cjumps f = function
+  | Leaf n -> Leaf n
+  | Branch (cj, a, b) -> Branch (f cj, map_cjumps f a, map_cjumps f b)
+
+(** [find_cjump t id] is the conditional jump with operation id [id] in
+    [t], if present. *)
+let find_cjump t id =
+  List.find_opt (fun (op : Operation.t) -> op.id = id) (cjumps t)
+
+(** [root_cjump t] is the root conditional of [t]: the only conditional
+    jump Percolation Scheduling may move out of the instruction. *)
+let root_cjump = function
+  | Leaf _ -> None
+  | Branch (cj, _, _) -> Some cj
+
+(** [split_root t] decomposes [Branch (cj, a, b)] into [(cj, a, b)]. *)
+let split_root = function
+  | Leaf _ -> None
+  | Branch (cj, a, b) -> Some (cj, a, b)
+
+(** [path_to t n] is the decision sequence (root first) of the first
+    pre-order path whose leaf is [n]: the guard an operation acquires
+    when it moves up into the instruction holding [t] from successor
+    [n].  [None] when no leaf points at [n]. *)
+let path_to t n =
+  let rec go acc = function
+    | Leaf m -> if m = n then Some (List.rev acc) else None
+    | Branch (cj, a, b) -> (
+        match go ((cj.Operation.id, true) :: acc) a with
+        | Some p -> Some p
+        | None -> go ((cj.Operation.id, false) :: acc) b)
+  in
+  go [] t
+
+(** [has_path_prefix t g] — is the decision list [g] a valid
+    root-anchored path prefix of [t]?  Operation guards must satisfy
+    this within their node (checked by {!Wellformed}). *)
+let rec has_path_prefix t (g : (int * bool) list) =
+  match g, t with
+  | [], _ -> true
+  | (c, b) :: rest, Branch (cj, a, f) ->
+      cj.Operation.id = c && has_path_prefix (if b then a else f) rest
+  | _ :: _, Leaf _ -> false
+
+(** [all_paths_to t n] counts the leaves of [t] pointing at [n]. *)
+let all_paths_to t n =
+  let rec go = function
+    | Leaf m -> if m = n then 1 else 0
+    | Branch (_, a, b) -> go a + go b
+  in
+  go t
+
+(** [shape t] is a structural signature of [t] that ignores node ids and
+    operation ids but keeps conditional lineage: used for pipelining
+    convergence detection. *)
+let rec shape = function
+  | Leaf _ -> "L"
+  | Branch (cj, a, b) ->
+      Printf.sprintf "B%d(%s,%s)" cj.Operation.lineage (shape a) (shape b)
+
+let rec pp ppf = function
+  | Leaf n -> Format.fprintf ppf "-> n%d" n
+  | Branch (cj, a, b) ->
+      Format.fprintf ppf "@[<v>[%a]@,  T: %a@,  F: %a@]" Operation.pp cj pp a
+        pp b

@@ -1,0 +1,60 @@
+(** Program-graph nodes (VLIW instructions).
+
+    A node holds a set of unconditionally executed operations [ops]
+    (kept in insertion order for deterministic scheduling) and a
+    conditional tree [ctree] selecting the successor.  All mutation goes
+    through {!Program}, which maintains the operation-location index and
+    the graph version counter. *)
+
+type t = {
+  id : int;
+  mutable ops : Operation.t list;
+  mutable ctree : Ctree.t;
+}
+
+let make ~id ~ops ~ctree = { id; ops; ctree }
+
+(** [all_ops n] is every operation in [n]: the plain ops then the
+    conditional jumps of the tree. *)
+let all_ops n = n.ops @ Ctree.cjumps n.ctree
+
+(** [op_count n] is the issue-slot demand of [n] before any machine
+    policy (copies may be discounted by the machine model). *)
+let op_count n = List.length n.ops + Ctree.n_cjumps n.ctree
+
+(** [find_op n id] finds the operation with id [id] among [n]'s plain
+    ops (not the conditional jumps). *)
+let find_op n id = List.find_opt (fun (op : Operation.t) -> op.id = id) n.ops
+
+(** [mem_op n id] holds when the plain op [id] is in [n]. *)
+let mem_op n id = Option.is_some (find_op n id)
+
+(** [find_any n id] finds op [id] among plain ops or conditional
+    jumps. *)
+let find_any n id =
+  match find_op n id with
+  | Some op -> Some op
+  | None -> Ctree.find_cjump n.ctree id
+
+(** [succs n] is the list of distinct successors of [n]. *)
+let succs n = Ctree.succs n.ctree
+
+(** [defs n] is the set of registers written by [n]'s plain ops. *)
+let defs n =
+  List.fold_left
+    (fun acc op ->
+      match Operation.def op with
+      | Some d -> Reg.Set.add d acc
+      | None -> acc)
+    Reg.Set.empty n.ops
+
+(** [is_empty n] holds when [n] computes nothing and falls through
+    unconditionally: such nodes are deleted by {!Program.delete_node}. *)
+let is_empty n =
+  match n.ops, n.ctree with [], Ctree.Leaf _ -> true | _ -> false
+
+let pp ppf n =
+  Format.fprintf ppf "@[<v>n%d:@,%a@,%a@]" n.id
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf op ->
+         Format.fprintf ppf "  %a" Operation.pp op))
+    n.ops Ctree.pp n.ctree

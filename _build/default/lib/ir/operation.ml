@@ -1,0 +1,190 @@
+(** Operations — the "conventional operations" of the VLIW model.
+
+    An operation is a three-address statement: an arithmetic op, a copy,
+    a memory access, or a conditional jump.  Conditional jumps carry no
+    target here; targets live in the instruction's conditional tree
+    ({!Ctree}).
+
+    Besides its [kind], an operation carries scheduling metadata:
+    - [iter]: the unwound-iteration index it belongs to ([no_iter] for
+      straight-line code), used by the ranking heuristic and by the
+      Gapless-move test;
+    - [lineage]: the id of the original-body operation it descends from
+      (stable across renaming, unwinding and node splitting), used for
+      convergence signatures and for figure rendering;
+    - [src_pos]: the position of its lineage in the original body, the
+      final ranking tie-break. *)
+
+(** A word-addressed array access: address = value of [base] + [offset]
+    within array [sym].  The front end folds additive index constants
+    into [offset], which gives the alias test exact answers on affine
+    accesses. *)
+type addr = { sym : string; base : Operand.t; offset : int }
+
+(** IBM-VLIW path guard: the sequence of (conditional-jump id, taken?)
+    decisions, root first, leading to the operation's position in its
+    instruction's conditional tree.  The operation's operands are
+    fetched and its result computed unconditionally, but the result is
+    {e stored} only when the selected path satisfies the guard — this
+    is the "IBM VLIW" store discipline of section 2, and it is what
+    makes moving operations (stores included) above conditional jumps
+    semantics-preserving without write-live renaming. *)
+type guard = (int * bool) list
+
+type kind =
+  | Binop of Opcode.binop * Reg.t * Operand.t * Operand.t
+  | Unop of Opcode.unop * Reg.t * Operand.t
+  | Copy of Reg.t * Operand.t
+  | Load of Reg.t * addr
+  | Store of addr * Operand.t
+  | Cjump of Opcode.relop * Operand.t * Operand.t
+
+type t = {
+  id : int;
+  kind : kind;
+  iter : int;
+  lineage : int;
+  src_pos : int;
+  guard : guard;
+}
+
+(** Iteration tag of operations that belong to no unwound iteration. *)
+let no_iter = -1
+
+(** [make ~id ?iter ?lineage ?src_pos ?guard kind] builds an operation.
+    [lineage] defaults to [id] (the operation is its own ancestor);
+    [guard] defaults to the empty (root, always-commit) guard. *)
+let make ~id ?(iter = no_iter) ?lineage ?(src_pos = 0) ?(guard = []) kind =
+  let lineage = Option.value lineage ~default:id in
+  { id; kind; iter; lineage; src_pos; guard }
+
+(** [guard_compatible g1 g2] — can both guards be satisfied by one
+    selected path?  (No decision contradicts the other guard.) *)
+let guard_compatible (g1 : guard) (g2 : guard) =
+  not
+    (List.exists
+       (fun (c1, b1) ->
+         List.exists (fun (c2, b2) -> c1 = c2 && b1 <> b2) g2)
+       g1)
+
+(** [guard_satisfied g ~decisions] — is [g] a prefix-consistent subset
+    of the selected path's [decisions]?  Each conditional appears at
+    most once per tree, so set containment suffices. *)
+let guard_satisfied (g : guard) ~decisions =
+  List.for_all
+    (fun (c, b) ->
+      List.exists (fun (c', b') -> c = c' && b = b') decisions)
+    g
+
+(** [strip_guard_head op ~cj ~taken] removes the leading guard entry
+    for conditional [cj] (used when node splitting specialises an
+    instruction to one arm of its root conditional). *)
+let strip_guard_head op ~cj ~taken =
+  match op.guard with
+  | (c, b) :: rest when c = cj && b = taken -> Some { op with guard = rest }
+  | (c, _) :: _ when c = cj -> None (* on the other arm *)
+  | _ -> Some op (* unguarded by cj: executes on both arms *)
+
+let equal_id a b = Int.equal a.id b.id
+
+(** [def op] is the register [op] writes, if any.  Stores and
+    conditional jumps define nothing. *)
+let def op =
+  match op.kind with
+  | Binop (_, d, _, _) | Unop (_, d, _) | Copy (d, _) | Load (d, _) -> Some d
+  | Store _ | Cjump _ -> None
+
+(** [operands op] lists the source operands of [op], address bases
+    included. *)
+let operands op =
+  match op.kind with
+  | Binop (_, _, a, b) -> [ a; b ]
+  | Unop (_, _, a) | Copy (_, a) -> [ a ]
+  | Load (_, { base; _ }) -> [ base ]
+  | Store ({ base; _ }, v) -> [ base; v ]
+  | Cjump (_, a, b) -> [ a; b ]
+
+(** [uses op] lists the registers [op] reads (with duplicates removed). *)
+let uses op =
+  List.concat_map Operand.regs (operands op) |> List.sort_uniq Reg.compare
+
+(** [map_operands f op] rewrites every source operand of [op] with [f],
+    leaving the destination untouched. *)
+let map_operands f op =
+  let kind =
+    match op.kind with
+    | Binop (o, d, a, b) -> Binop (o, d, f a, f b)
+    | Unop (o, d, a) -> Unop (o, d, f a)
+    | Copy (d, a) -> Copy (d, f a)
+    | Load (d, a) -> Load (d, { a with base = f a.base })
+    | Store (a, v) -> Store ({ a with base = f a.base }, f v)
+    | Cjump (r, a, b) -> Cjump (r, f a, f b)
+  in
+  { op with kind }
+
+(** [with_def op r] retargets the destination of [op] to [r].  Raises
+    [Invalid_argument] on stores and conditional jumps. *)
+let with_def op r =
+  let kind =
+    match op.kind with
+    | Binop (o, _, a, b) -> Binop (o, r, a, b)
+    | Unop (o, _, a) -> Unop (o, r, a)
+    | Copy (_, a) -> Copy (r, a)
+    | Load (_, a) -> Load (r, a)
+    | Store _ | Cjump _ -> invalid_arg "Operation.with_def: no destination"
+  in
+  { op with kind }
+
+let is_cjump op = match op.kind with Cjump _ -> true | _ -> false
+let is_copy op = match op.kind with Copy _ -> true | _ -> false
+let is_load op = match op.kind with Load _ -> true | _ -> false
+let is_store op = match op.kind with Store _ -> true | _ -> false
+
+(** [mem_access op] is the address accessed by a load or store. *)
+let mem_access op =
+  match op.kind with
+  | Load (_, a) -> Some a
+  | Store (a, _) -> Some a
+  | Binop _ | Unop _ | Copy _ | Cjump _ -> None
+
+(** [reads_reg op r] holds when [op] reads register [r]. *)
+let reads_reg op r = List.exists (Reg.equal r) (uses op)
+
+(** [defines_reg op r] holds when [op] writes register [r]. *)
+let defines_reg op r =
+  match def op with Some d -> Reg.equal d r | None -> false
+
+let pp_addr ppf { sym; base; offset } =
+  if offset = 0 then Format.fprintf ppf "%s[%a]" sym Operand.pp base
+  else if offset > 0 then
+    Format.fprintf ppf "%s[%a+%d]" sym Operand.pp base offset
+  else Format.fprintf ppf "%s[%a-%d]" sym Operand.pp base (-offset)
+
+let pp_kind ppf = function
+  | Binop (o, d, a, b) ->
+      Format.fprintf ppf "%a <- %a %a %a" Reg.pp d Operand.pp a Opcode.pp_binop
+        o Operand.pp b
+  | Unop (o, d, a) ->
+      Format.fprintf ppf "%a <- %a %a" Reg.pp d Opcode.pp_unop o Operand.pp a
+  | Copy (d, a) -> Format.fprintf ppf "%a <- %a" Reg.pp d Operand.pp a
+  | Load (d, a) -> Format.fprintf ppf "%a <- %a" Reg.pp d pp_addr a
+  | Store (a, v) -> Format.fprintf ppf "%a <- %a" pp_addr a Operand.pp v
+  | Cjump (r, a, b) ->
+      Format.fprintf ppf "if %a %a %a" Operand.pp a Opcode.pp_relop r
+        Operand.pp b
+
+let pp_guard ppf (g : guard) =
+  if g <> [] then
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         (fun ppf (c, b) -> Format.fprintf ppf "%s#%d" (if b then "+" else "-") c))
+      g
+
+let pp ppf op =
+  Format.fprintf ppf "@[#%d%t%a %a@]" op.id
+    (fun ppf ->
+      if op.iter <> no_iter then Format.fprintf ppf "(i%d)" op.iter)
+    pp_guard op.guard pp_kind op.kind
+
+let to_string op = Format.asprintf "%a" pp op

@@ -1,0 +1,348 @@
+(** Mutable VLIW program graphs.
+
+    A program is a directed graph of {!Node.t} instructions with a
+    distinguished [entry] and a distinguished [exit_id] sentinel (an
+    empty node whose only successor is itself; execution stops there).
+
+    All structural mutation must go through this module: the functions
+    below keep three pieces of derived state coherent:
+    - [op_home]: operation id -> node id, for O(1) location queries
+      during migration;
+    - [version]: a counter bumped on every mutation, used by analysis
+      caches ({!Vliw_analysis.Liveness}) to invalidate themselves;
+    - fresh-id supplies for nodes, operations and registers. *)
+
+type t = {
+  nodes : (int, Node.t) Hashtbl.t;
+  entry : int;
+  exit_id : int;
+  op_home : (int, int) Hashtbl.t;
+  mutable next_node : int;
+  mutable next_reg : int;
+  mutable next_op : int;
+  mutable version : int;
+}
+
+let touch p = p.version <- p.version + 1
+let version p = p.version
+
+(* -- construction ------------------------------------------------------ *)
+
+(** [create ~first_reg ()] is an empty program: an entry node falling
+    through to the exit sentinel.  [first_reg] reserves register ids
+    below it for the caller (parameters, named scalars). *)
+let create ?(first_reg = 0) () =
+  let nodes = Hashtbl.create 64 in
+  let exit_id = 0 and entry = 1 in
+  Hashtbl.replace nodes exit_id
+    (Node.make ~id:exit_id ~ops:[] ~ctree:(Ctree.leaf exit_id));
+  Hashtbl.replace nodes entry
+    (Node.make ~id:entry ~ops:[] ~ctree:(Ctree.leaf exit_id));
+  {
+    nodes;
+    entry;
+    exit_id;
+    op_home = Hashtbl.create 64;
+    next_node = 2;
+    next_reg = first_reg;
+    next_op = 0;
+    version = 0;
+  }
+
+let fresh_reg p =
+  let r = p.next_reg in
+  p.next_reg <- r + 1;
+  Reg.of_int r
+
+let fresh_op_id p =
+  let i = p.next_op in
+  p.next_op <- i + 1;
+  i
+
+(** [node p id] is the node with id [id].  Raises [Not_found] on a
+    dangling id — a well-formedness violation. *)
+let node p id = Hashtbl.find p.nodes id
+
+let node_opt p id = Hashtbl.find_opt p.nodes id
+let entry_node p = node p p.entry
+let is_exit p id = id = p.exit_id
+
+(* Keep the fresh-register supply above every register mentioned by any
+   operation ever placed in the program, so renaming never collides
+   with caller-chosen registers. *)
+let note_op_regs p (op : Operation.t) =
+  let bump r = if Reg.to_int r >= p.next_reg then p.next_reg <- Reg.to_int r + 1 in
+  (match Operation.def op with Some d -> bump d | None -> ());
+  List.iter bump (Operation.uses op)
+
+let register_ops p nid ops =
+  List.iter
+    (fun (op : Operation.t) ->
+      note_op_regs p op;
+      Hashtbl.replace p.op_home op.id nid)
+    ops
+
+(** [fresh_node p ~ops ~ctree] allocates a new node and indexes its
+    operations (conditional-tree jumps included). *)
+let fresh_node p ~ops ~ctree =
+  let id = p.next_node in
+  p.next_node <- id + 1;
+  let n = Node.make ~id ~ops ~ctree in
+  Hashtbl.replace p.nodes id n;
+  register_ops p id ops;
+  register_ops p id (Ctree.cjumps ctree);
+  touch p;
+  n
+
+(* -- operation placement ----------------------------------------------- *)
+
+(** [home p op_id] is the node currently holding operation [op_id], or
+    [None] if the operation has been deleted. *)
+let home p op_id = Hashtbl.find_opt p.op_home op_id
+
+(** [add_op p nid op] appends [op] to node [nid]'s plain ops. *)
+let add_op p nid (op : Operation.t) =
+  let n = node p nid in
+  n.Node.ops <- n.Node.ops @ [ op ];
+  note_op_regs p op;
+  Hashtbl.replace p.op_home op.id nid;
+  touch p
+
+(** [remove_op p nid op_id] removes plain op [op_id] from node [nid].
+    Raises [Invalid_argument] if absent. *)
+let remove_op p nid op_id =
+  let n = node p nid in
+  if not (Node.mem_op n op_id) then
+    invalid_arg
+      (Printf.sprintf "Program.remove_op: op %d not in node %d" op_id nid);
+  n.Node.ops <- List.filter (fun (o : Operation.t) -> o.id <> op_id) n.Node.ops;
+  Hashtbl.remove p.op_home op_id;
+  touch p
+
+(** [replace_op p nid op] substitutes the plain op with [op.id] in node
+    [nid] by [op] (in place, preserving order): used by renaming and
+    copy forwarding. *)
+let replace_op p nid (op : Operation.t) =
+  let n = node p nid in
+  let found = ref false in
+  n.Node.ops <-
+    List.map
+      (fun (o : Operation.t) ->
+        if o.id = op.id then (
+          found := true;
+          op)
+        else o)
+      n.Node.ops;
+  if not !found then
+    invalid_arg
+      (Printf.sprintf "Program.replace_op: op %d not in node %d" op.id nid);
+  touch p
+
+(** [set_ctree p nid t] replaces node [nid]'s conditional tree,
+    re-indexing the jumps it contains. *)
+let set_ctree p nid t =
+  let n = node p nid in
+  List.iter
+    (fun (cj : Operation.t) -> Hashtbl.remove p.op_home cj.id)
+    (Ctree.cjumps n.Node.ctree);
+  n.Node.ctree <- t;
+  register_ops p nid (Ctree.cjumps t);
+  touch p
+
+(** [copy_op p op] is a fresh-id clone of [op] (same kind, iter,
+    lineage, src_pos): used when node splitting duplicates code. *)
+let copy_op p (op : Operation.t) = { op with Operation.id = fresh_op_id p }
+
+(** [clone_instruction p ~ops ~ctree] deep-copies an instruction's
+    contents with fresh operation ids, remapping the path guards of
+    [ops] to the cloned conditional-jump ids.  The result is not yet a
+    node; pass it to {!fresh_node}. *)
+let clone_instruction p ~ops ~ctree =
+  let map = Hashtbl.create 8 in
+  let rec clone_tree = function
+    | Ctree.Leaf n -> Ctree.Leaf n
+    | Ctree.Branch (cj, a, b) ->
+        let cj' = copy_op p cj in
+        Hashtbl.replace map cj.Operation.id cj'.Operation.id;
+        Ctree.Branch (cj', clone_tree a, clone_tree b)
+  in
+  let ctree' = clone_tree ctree in
+  let remap (g : Operation.guard) =
+    List.map
+      (fun (c, b) ->
+        ((match Hashtbl.find_opt map c with Some c' -> c' | None -> c), b))
+      g
+  in
+  let ops' =
+    List.map
+      (fun (op : Operation.t) ->
+        { (copy_op p op) with Operation.guard = remap op.Operation.guard })
+      ops
+  in
+  (ops', ctree')
+
+(* -- graph queries ------------------------------------------------------ *)
+
+(** [succs p id] is the successor ids of node [id]; the exit sentinel
+    has none. *)
+let succs p id = if is_exit p id then [] else Node.succs (node p id)
+
+(** [iter_nodes p f] applies [f] to every node, exit sentinel included,
+    in unspecified order. *)
+let iter_nodes p f = Hashtbl.iter (fun _ n -> f n) p.nodes
+
+(** [fold_nodes p f acc] folds over every node in unspecified order. *)
+let fold_nodes p f acc = Hashtbl.fold (fun _ n acc -> f n acc) p.nodes acc
+
+(** [node_ids p] is the sorted list of all node ids. *)
+let node_ids p =
+  Hashtbl.fold (fun id _ acc -> id :: acc) p.nodes []
+  |> List.sort Int.compare
+
+(** [reachable p] is the set of node ids reachable from the entry. *)
+let reachable p =
+  let seen = Hashtbl.create 64 in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then (
+      Hashtbl.replace seen id ();
+      List.iter go (succs p id))
+  in
+  go p.entry;
+  seen
+
+(** [preds p] is the full predecessor map (node id -> predecessor ids),
+    over reachable nodes only.  Recomputed on demand; programs are
+    small. *)
+let preds p =
+  let r = reachable p in
+  let tbl = Hashtbl.create 64 in
+  Hashtbl.iter (fun id () -> Hashtbl.replace tbl id []) r;
+  Hashtbl.iter
+    (fun id () ->
+      List.iter
+        (fun s ->
+          if s <> id || not (is_exit p id) then
+            Hashtbl.replace tbl s (id :: (try Hashtbl.find tbl s with Not_found -> [])))
+        (succs p id))
+    r;
+  tbl
+
+(** [rpo p] is a reverse-postorder listing of the reachable nodes from
+    the entry — the top-down scheduling order. *)
+let rpo p =
+  let seen = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec go id =
+    if not (Hashtbl.mem seen id) then (
+      Hashtbl.replace seen id ();
+      List.iter go (succs p id);
+      order := id :: !order)
+  in
+  go p.entry;
+  !order
+
+(** [n_nodes p] counts reachable nodes (exit sentinel included). *)
+let n_nodes p = Hashtbl.length (reachable p)
+
+(** [all_ops p] lists every operation of every reachable node. *)
+let all_ops p =
+  let r = reachable p in
+  Hashtbl.fold
+    (fun id () acc ->
+      if is_exit p id then acc else Node.all_ops (node p id) @ acc)
+    r []
+
+(* -- structural edits --------------------------------------------------- *)
+
+(** [redirect p ~from_ ~old_ ~new_] rewrites node [from_]'s tree leaves
+    pointing at [old_] to point at [new_]. *)
+let redirect p ~from_ ~old_ ~new_ =
+  let n = node p from_ in
+  n.Node.ctree <- Ctree.replace_leaf n.Node.ctree ~old_ ~new_;
+  touch p
+
+(** [delete_node p id] removes the empty node [id], redirecting every
+    predecessor to its unique successor.  Raises [Invalid_argument] if
+    the node is not empty, is the entry, or is the exit sentinel. *)
+let delete_node p id =
+  if id = p.entry || is_exit p id then
+    invalid_arg "Program.delete_node: entry/exit";
+  let n = node p id in
+  if not (Node.is_empty n) then
+    invalid_arg "Program.delete_node: node not empty";
+  let succ = match Node.succs n with [ s ] -> s | _ -> assert false in
+  let pr = preds p in
+  (match Hashtbl.find_opt pr id with
+  | Some ps -> List.iter (fun q -> redirect p ~from_:q ~old_:id ~new_:succ) ps
+  | None -> ());
+  Hashtbl.remove p.nodes id;
+  touch p
+
+(** [gc p] drops nodes unreachable from the entry and de-indexes their
+    operations.  Returns the number of nodes collected. *)
+let gc p =
+  let r = reachable p in
+  let dead =
+    Hashtbl.fold
+      (fun id _ acc -> if Hashtbl.mem r id then acc else id :: acc)
+      p.nodes []
+  in
+  List.iter
+    (fun id ->
+      let n = node p id in
+      List.iter
+        (fun (op : Operation.t) ->
+          match Hashtbl.find_opt p.op_home op.id with
+          | Some h when h = id -> Hashtbl.remove p.op_home op.id
+          | Some _ | None -> ())
+        (Node.all_ops n);
+      Hashtbl.remove p.nodes id)
+    dead;
+  if dead <> [] then touch p;
+  List.length dead
+
+(** [snapshot p] captures the full graph state; {!restore} brings [p]
+    back to it in place.  Used by the Unifiable-ops baseline, whose
+    semantics require rolling back migrations that fail to reach the
+    node being scheduled (this cost is part of why the paper judges
+    that technique impractical — the benchmark measures it). *)
+type snapshot = {
+  s_nodes : (int * Operation.t list * Ctree.t) list;
+  s_homes : (int * int) list;
+  s_next_node : int;
+  s_next_reg : int;
+  s_next_op : int;
+}
+
+let snapshot p =
+  {
+    s_nodes =
+      Hashtbl.fold
+        (fun id (n : Node.t) acc -> (id, n.Node.ops, n.Node.ctree) :: acc)
+        p.nodes [];
+    s_homes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.op_home [];
+    s_next_node = p.next_node;
+    s_next_reg = p.next_reg;
+    s_next_op = p.next_op;
+  }
+
+let restore p s =
+  Hashtbl.reset p.nodes;
+  List.iter
+    (fun (id, ops, ctree) ->
+      Hashtbl.replace p.nodes id (Node.make ~id ~ops ~ctree))
+    s.s_nodes;
+  Hashtbl.reset p.op_home;
+  List.iter (fun (k, v) -> Hashtbl.replace p.op_home k v) s.s_homes;
+  p.next_node <- s.s_next_node;
+  p.next_reg <- s.s_next_reg;
+  p.next_op <- s.s_next_op;
+  touch p
+
+let pp ppf p =
+  let ids = rpo p in
+  Format.fprintf ppf "@[<v>entry = n%d, exit = n%d@,%a@]" p.entry p.exit_id
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf id ->
+         if is_exit p id then Format.fprintf ppf "n%d: (exit)" id
+         else Node.pp ppf (node p id)))
+    ids

@@ -1,0 +1,28 @@
+(** Virtual registers.
+
+    The VLIW program-graph model of Percolation Scheduling assumes an
+    unbounded supply of virtual registers; renaming draws fresh ones from
+    {!Program.fresh_reg}.  A register is identified by a non-negative
+    integer. *)
+
+type t = int
+
+(** [of_int i] views [i] as a register id.  [i] must be non-negative. *)
+let of_int i =
+  assert (i >= 0);
+  i
+
+(** [to_int r] is the integer id of [r]. *)
+let to_int r = r
+
+let compare : t -> t -> int = Int.compare
+let equal : t -> t -> bool = Int.equal
+let hash : t -> int = fun r -> r
+
+(** [pp] prints a register as [r<n>]. *)
+let pp ppf r = Format.fprintf ppf "r%d" r
+
+let to_string r = Format.asprintf "%a" pp r
+
+module Set = Set.Make (Int)
+module Map = Map.Make (Int)

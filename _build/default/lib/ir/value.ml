@@ -1,0 +1,44 @@
+(** Runtime values.
+
+    Operations compute over machine words that are either integers (loop
+    counters, indices) or floats (the Livermore kernels' data).  The
+    interpreter in [Vliw_sim] is dynamically typed over this universe; the
+    [Minic] front end guarantees type sanity statically. *)
+
+type t =
+  | I of int
+  | F of float
+
+let equal a b =
+  match a, b with
+  | I x, I y -> Int.equal x y
+  | F x, F y -> Float.equal x y
+  | I _, F _ | F _, I _ -> false
+
+let compare a b =
+  match a, b with
+  | I x, I y -> Int.compare x y
+  | F x, F y -> Float.compare x y
+  | I _, F _ -> -1
+  | F _, I _ -> 1
+
+(** [is_true v] is the branch interpretation of [v]: nonzero means true. *)
+let is_true = function
+  | I n -> n <> 0
+  | F f -> f <> 0.0
+
+(** [to_float v] widens [v] to a float. *)
+let to_float = function
+  | I n -> float_of_int n
+  | F f -> f
+
+(** [to_int v] narrows [v] to an int, truncating floats. *)
+let to_int = function
+  | I n -> n
+  | F f -> int_of_float f
+
+let pp ppf = function
+  | I n -> Format.fprintf ppf "%d" n
+  | F f -> Format.fprintf ppf "%g" f
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,83 @@
+(** Structural invariants of program graphs.
+
+    [check p] returns a list of human-readable violations (empty when
+    the program is well formed).  The percolation transformations are
+    tested to preserve all of these; the schedulers assert them in
+    debug builds. *)
+
+let check (p : Program.t) =
+  let errs = ref [] in
+  let err fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let reachable = Program.reachable p in
+  (* exit sentinel shape *)
+  (match Program.node_opt p p.Program.exit_id with
+  | None -> err "exit node %d missing" p.Program.exit_id
+  | Some n ->
+      if n.Node.ops <> [] then err "exit node has operations";
+      (match n.Node.ctree with
+      | Ctree.Leaf l when l = p.Program.exit_id -> ()
+      | _ -> err "exit node is not a self-loop leaf"));
+  (* per-node checks + program-wide op id uniqueness *)
+  let seen_ops = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun id () ->
+      let n = Program.node p id in
+      (* leaves reference existing nodes *)
+      List.iter
+        (fun s ->
+          if Program.node_opt p s = None then
+            err "node %d has dangling successor %d" id s)
+        (Ctree.succs n.Node.ctree);
+      (* plain ops are not conditional jumps; cjumps live in the tree *)
+      List.iter
+        (fun (op : Operation.t) ->
+          if Operation.is_cjump op then
+            err "node %d holds Cjump #%d as a plain op" id op.Operation.id)
+        n.Node.ops;
+      List.iter
+        (fun (cj : Operation.t) ->
+          if not (Operation.is_cjump cj) then
+            err "node %d holds non-jump #%d in its ctree" id cj.Operation.id)
+        (Ctree.cjumps n.Node.ctree);
+      (* guards are valid root-anchored path prefixes of the tree *)
+      List.iter
+        (fun (op : Operation.t) ->
+          if not (Ctree.has_path_prefix n.Node.ctree op.Operation.guard) then
+            err "node %d: op #%d has guard not matching the tree" id
+              op.Operation.id)
+        n.Node.ops;
+      (* at most one def per register per instruction *)
+      let defs = Hashtbl.create 8 in
+      List.iter
+        (fun (op : Operation.t) ->
+          match Operation.def op with
+          | Some d ->
+              if Hashtbl.mem defs d then
+                err "node %d defines %s twice" id (Reg.to_string d)
+              else Hashtbl.replace defs d ()
+          | None -> ())
+        n.Node.ops;
+      (* op ids unique program-wide (reachable part) *)
+      List.iter
+        (fun (op : Operation.t) ->
+          if Hashtbl.mem seen_ops op.Operation.id then
+            err "op id %d appears in two nodes" op.Operation.id
+          else Hashtbl.replace seen_ops op.Operation.id id)
+        (Node.all_ops n);
+      (* home index agrees with placement *)
+      List.iter
+        (fun (op : Operation.t) ->
+          match Program.home p op.Operation.id with
+          | Some h when h = id -> ()
+          | Some h ->
+              err "op #%d is in node %d but indexed at %d" op.Operation.id id h
+          | None -> err "op #%d is in node %d but unindexed" op.Operation.id id)
+        (Node.all_ops n))
+    reachable;
+  List.rev !errs
+
+(** [check_exn p] raises [Failure] with all violations joined, if any. *)
+let check_exn p =
+  match check p with
+  | [] -> ()
+  | errs -> failwith (String.concat "; " errs)

@@ -1,0 +1,1 @@
+lib/minic/compile.ml: Ast Format Grip Lexer Lower Opt Parser Typecheck Vliw_ir

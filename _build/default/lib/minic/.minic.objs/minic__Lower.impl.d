@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Ast Grip List Opcode Operand Operation Reg Typecheck Value Vliw_ir

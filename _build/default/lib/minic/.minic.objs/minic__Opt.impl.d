@@ -1,0 +1,1 @@
+lib/minic/opt.ml: Grip List Opcode Operand Operation Reg Vliw_analysis Vliw_ir

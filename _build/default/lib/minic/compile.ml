@@ -1,0 +1,41 @@
+(** The [minic] driver: source text to a schedulable kernel.
+
+    [kernel_of_string src] runs lex, parse, typecheck, lowering and the
+    scalar-optimization pipeline, returning the kernel together with
+    simulator data consistent with the declared array types. *)
+
+type output = {
+  kernel : Grip.Kernel.t;
+  ast : Ast.kernel;
+  env : Typecheck.env;
+  opt_stats : Opt.stats;
+  data : string -> int -> Vliw_ir.Value.t;
+}
+
+type error = { stage : string; message : string }
+
+let pp_error ppf e = Format.fprintf ppf "%s error: %s" e.stage e.message
+
+(** [kernel_of_string ?optimize src] — compile [src]; [optimize]
+    (default true) runs the scalar pipeline of {!Opt}. *)
+let kernel_of_string ?(optimize = true) src =
+  match
+    let ast = Parser.parse src in
+    let env = Typecheck.check ast in
+    let kernel = Lower.lower ast env in
+    let kernel, opt_stats =
+      if optimize then Opt.kernel kernel else (kernel, Opt.no_stats)
+    in
+    { kernel; ast; env; opt_stats; data = Lower.data env }
+  with
+  | out -> Ok out
+  | exception Lexer.Error m -> Error { stage = "lexical"; message = m }
+  | exception Parser.Error m -> Error { stage = "syntax"; message = m }
+  | exception Typecheck.Error m -> Error { stage = "type"; message = m }
+
+(** [kernel_of_string_exn src] — as {!kernel_of_string}, raising
+    [Failure] with the diagnostic on error. *)
+let kernel_of_string_exn ?optimize src =
+  match kernel_of_string ?optimize src with
+  | Ok out -> out
+  | Error e -> failwith (Format.asprintf "%a" pp_error e)

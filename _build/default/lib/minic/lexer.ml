@@ -1,0 +1,97 @@
+(** Hand-written lexer for [minic]; reports positions for
+    diagnostics. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let keyword = function
+  | "kernel" -> Some Token.KERNEL
+  | "param" -> Some Token.PARAM
+  | "array" -> Some Token.ARRAY
+  | "var" -> Some Token.VAR
+  | "for" -> Some Token.FOR
+  | "to" -> Some Token.TO
+  | "int" -> Some Token.INT_T
+  | "float" -> Some Token.FLOAT_T
+  | "sqrt" -> Some Token.SQRT
+  | "abs" -> Some Token.ABS
+  | "if" | "else" | "while" ->
+      error
+        "interior control flow ('if'/'else'/'while') is outside the paper's \
+         evaluation scope; kernels are counted loops"
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+(** [tokenize src] is the token list of [src] ending with [EOF].
+    Raises {!Error} on unexpected input.  Comments run from [//] to end
+    of line. *)
+let tokenize src =
+  let n = String.length src in
+  let line = ref 1 and col = ref 1 in
+  let tokens = ref [] in
+  let emit token = tokens := { Token.token; line = !line; col = !col } :: !tokens in
+  let i = ref 0 in
+  let advance () =
+    (if !i < n && src.[!i] = '\n' then begin
+       incr line;
+       col := 0
+     end);
+    incr i;
+    incr col
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then
+      while !i < n && src.[!i] <> '\n' do
+        advance ()
+      done
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && (is_digit src.[!i] || src.[!i] = '.') do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      if String.contains text '.' then
+        match float_of_string_opt text with
+        | Some f -> emit (Token.FLOAT f)
+        | None -> error "line %d: bad float literal %S" !line text
+      else
+        match int_of_string_opt text with
+        | Some k -> emit (Token.INT k)
+        | None -> error "line %d: bad integer literal %S" !line text
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && (is_alpha src.[!i] || is_digit src.[!i]) do
+        advance ()
+      done;
+      let text = String.sub src start (!i - start) in
+      match keyword text with
+      | Some t -> emit t
+      | None -> emit (Token.IDENT text)
+    end
+    else begin
+      (match c with
+      | '{' -> emit Token.LBRACE
+      | '}' -> emit Token.RBRACE
+      | '[' -> emit Token.LBRACKET
+      | ']' -> emit Token.RBRACKET
+      | '(' -> emit Token.LPAREN
+      | ')' -> emit Token.RPAREN
+      | '+' -> emit Token.PLUS
+      | '-' -> emit Token.MINUS
+      | '*' -> emit Token.STAR
+      | '/' -> emit Token.SLASH
+      | '=' -> emit Token.EQUAL
+      | ':' -> emit Token.COLON
+      | ';' -> emit Token.SEMI
+      | c -> error "line %d: unexpected character %C" !line c);
+      advance ()
+    end
+  done;
+  emit Token.EOF;
+  List.rev !tokens

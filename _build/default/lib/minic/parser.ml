@@ -1,0 +1,292 @@
+(** Recursive-descent parser for [minic].
+
+    Grammar:
+    {v
+    kernel  := "kernel" IDENT "{" decl* loop "}"
+    decl    := "param" IDENT ":" ty "=" literal ";"
+             | "var"   IDENT ":" ty "=" literal ";"
+             | "array" IDENT "[" INT "]" (":" ty)? ";"
+    loop    := "for" IDENT "=" INT "to" ("n" | INT) "{" stmt* "}"
+    stmt    := IDENT "[" index "]" "=" expr ";"
+             | IDENT "=" expr ";"
+    expr    := term (("+"|"-") term)*
+    term    := factor (("*"|"/") factor)*
+    factor  := literal | IDENT | IDENT "[" index "]" | "(" expr ")"
+             | "-" factor | "sqrt" "(" expr ")" | "abs" "(" expr ")"
+    index   := iterm (("+"|"-") INT)*
+    iterm   := IDENT | INT | IDENT "[" index "]"
+    v} *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type state = { mutable toks : Token.located list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t.Token.token
+  | [] -> Token.EOF
+
+let advance st =
+  match st.toks with
+  | _ :: rest -> st.toks <- rest
+  | [] -> ()
+
+let line st = match st.toks with t :: _ -> t.Token.line | [] -> 0
+
+let expect st token =
+  if peek st = token then advance st
+  else
+    error "line %d: expected %s, found %s" (line st) (Token.to_string token)
+      (Token.to_string (peek st))
+
+let ident st =
+  match peek st with
+  | Token.IDENT s ->
+      advance st;
+      s
+  | t -> error "line %d: expected an identifier, found %s" (line st) (Token.to_string t)
+
+let integer st =
+  match peek st with
+  | Token.INT k ->
+      advance st;
+      k
+  | t -> error "line %d: expected an integer, found %s" (line st) (Token.to_string t)
+
+let literal st =
+  match peek st with
+  | Token.INT k ->
+      advance st;
+      Ast.Lint k
+  | Token.FLOAT f ->
+      advance st;
+      Ast.Lfloat f
+  | Token.MINUS -> (
+      advance st;
+      match peek st with
+      | Token.INT k ->
+          advance st;
+          Ast.Lint (-k)
+      | Token.FLOAT f ->
+          advance st;
+          Ast.Lfloat (-.f)
+      | t -> error "line %d: expected a literal after '-', found %s" (line st) (Token.to_string t))
+  | t -> error "line %d: expected a literal, found %s" (line st) (Token.to_string t)
+
+let ty st =
+  match peek st with
+  | Token.INT_T ->
+      advance st;
+      Ast.Tint
+  | Token.FLOAT_T ->
+      advance st;
+      Ast.Tfloat
+  | t -> error "line %d: expected a type, found %s" (line st) (Token.to_string t)
+
+(* -- index expressions -------------------------------------------------- *)
+
+let rec index ~loop_var st =
+  let base =
+    match peek st with
+    | Token.INT k ->
+        advance st;
+        Ast.Iconst k
+    | Token.IDENT s when Some s = loop_var ->
+        advance st;
+        Ast.Ivar
+    | Token.IDENT s -> (
+        advance st;
+        match peek st with
+        | Token.LBRACKET ->
+            advance st;
+            let inner = index ~loop_var st in
+            expect st Token.RBRACKET;
+            Ast.Igather (s, inner)
+        | _ ->
+            error
+              "line %d: scalar %S cannot index an array (only the loop \
+               variable, constants and gathers can)"
+              (line st) s)
+    | t -> error "line %d: bad index expression at %s" (line st) (Token.to_string t)
+  in
+  let rec offsets acc =
+    match peek st with
+    | Token.PLUS ->
+        advance st;
+        let k = integer st in
+        offsets (Ast.Iplus (acc, k))
+    | Token.MINUS ->
+        advance st;
+        let k = integer st in
+        offsets (Ast.Iplus (acc, -k))
+    | _ -> acc
+  in
+  offsets base
+
+(* -- expressions --------------------------------------------------------- *)
+
+let rec expr ~loop_var st =
+  let lhs = term ~loop_var st in
+  let rec go lhs =
+    match peek st with
+    | Token.PLUS ->
+        advance st;
+        go (Ast.Bin (None, '+', lhs, term ~loop_var st))
+    | Token.MINUS ->
+        advance st;
+        go (Ast.Bin (None, '-', lhs, term ~loop_var st))
+    | _ -> lhs
+  in
+  go lhs
+
+and term ~loop_var st =
+  let lhs = factor ~loop_var st in
+  let rec go lhs =
+    match peek st with
+    | Token.STAR ->
+        advance st;
+        go (Ast.Bin (None, '*', lhs, factor ~loop_var st))
+    | Token.SLASH ->
+        advance st;
+        go (Ast.Bin (None, '/', lhs, factor ~loop_var st))
+    | _ -> lhs
+  in
+  go lhs
+
+and factor ~loop_var st =
+  match peek st with
+  | Token.INT _ | Token.FLOAT _ -> Ast.Lit (literal st)
+  | Token.MINUS ->
+      advance st;
+      Ast.Neg (factor ~loop_var st)
+  | Token.SQRT ->
+      advance st;
+      expect st Token.LPAREN;
+      let e = expr ~loop_var st in
+      expect st Token.RPAREN;
+      Ast.Sqrt e
+  | Token.ABS ->
+      advance st;
+      expect st Token.LPAREN;
+      let e = expr ~loop_var st in
+      expect st Token.RPAREN;
+      Ast.Abs e
+  | Token.LPAREN ->
+      advance st;
+      let e = expr ~loop_var st in
+      expect st Token.RPAREN;
+      e
+  | Token.IDENT s -> (
+      advance st;
+      match peek st with
+      | Token.LBRACKET ->
+          advance st;
+          let i = index ~loop_var st in
+          expect st Token.RBRACKET;
+          Ast.Elem (s, i)
+      | _ -> Ast.Scalar s)
+  | t -> error "line %d: bad expression at %s" (line st) (Token.to_string t)
+
+(* -- statements and declarations ----------------------------------------- *)
+
+let stmt ~loop_var st =
+  let name = ident st in
+  match peek st with
+  | Token.LBRACKET ->
+      advance st;
+      let i = index ~loop_var st in
+      expect st Token.RBRACKET;
+      expect st Token.EQUAL;
+      let e = expr ~loop_var st in
+      expect st Token.SEMI;
+      Ast.Assign_elem (name, i, e)
+  | Token.EQUAL ->
+      advance st;
+      let e = expr ~loop_var st in
+      expect st Token.SEMI;
+      Ast.Assign_scalar (name, e)
+  | t -> error "line %d: bad statement at %s" (line st) (Token.to_string t)
+
+let decl st =
+  match peek st with
+  | Token.PARAM ->
+      advance st;
+      let name = ident st in
+      expect st Token.COLON;
+      let t = ty st in
+      expect st Token.EQUAL;
+      let l = literal st in
+      expect st Token.SEMI;
+      Some (Ast.Param (name, t, l))
+  | Token.VAR ->
+      advance st;
+      let name = ident st in
+      expect st Token.COLON;
+      let t = ty st in
+      expect st Token.EQUAL;
+      let l = literal st in
+      expect st Token.SEMI;
+      Some (Ast.Var (name, t, l))
+  | Token.ARRAY ->
+      advance st;
+      let name = ident st in
+      expect st Token.LBRACKET;
+      let size = integer st in
+      expect st Token.RBRACKET;
+      let t =
+        if peek st = Token.COLON then begin
+          advance st;
+          ty st
+        end
+        else Ast.Tfloat
+      in
+      expect st Token.SEMI;
+      Some (Ast.Array_decl (name, size, t))
+  | _ -> None
+
+let loop st =
+  expect st Token.FOR;
+  let var = ident st in
+  expect st Token.EQUAL;
+  let from_ = integer st in
+  expect st Token.TO;
+  let bound =
+    match peek st with
+    | Token.IDENT "n" ->
+        advance st;
+        `N
+    | Token.INT k ->
+        advance st;
+        `Const k
+    | t -> error "line %d: loop bound must be 'n' or a constant, found %s" (line st) (Token.to_string t)
+  in
+  expect st Token.LBRACE;
+  let body = ref [] in
+  while peek st <> Token.RBRACE do
+    body := stmt ~loop_var:(Some var) st :: !body
+  done;
+  expect st Token.RBRACE;
+  { Ast.var; from_; bound; body = List.rev !body }
+
+(** [parse src] — the kernel described by [src].  Raises {!Error} or
+    {!Lexer.Error} on malformed input. *)
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  expect st Token.KERNEL;
+  let name = ident st in
+  expect st Token.LBRACE;
+  let decls = ref [] in
+  let rec all_decls () =
+    match decl st with
+    | Some d ->
+        decls := d :: !decls;
+        all_decls ()
+    | None -> ()
+  in
+  all_decls ();
+  let l = loop st in
+  expect st Token.RBRACE;
+  expect st Token.EOF;
+  { Ast.name; decls = List.rev !decls; loop = l }

@@ -1,0 +1,67 @@
+(** Tokens of the [minic] kernel language.
+
+    The language covers what the paper's evaluation needs: counted
+    inner loops over arrays with float arithmetic, scalar accumulators
+    and gather/scatter indexing — the shape the GCC front end handed
+    the UCI compiler.  (Explicit interior conditionals are rejected at
+    parse time, matching the paper's evaluation scope.) *)
+
+type t =
+  | KERNEL
+  | PARAM
+  | ARRAY
+  | VAR
+  | FOR
+  | TO
+  | INT_T  (** the type name [int] *)
+  | FLOAT_T  (** the type name [float] *)
+  | SQRT
+  | ABS
+  | IDENT of string
+  | INT of int
+  | FLOAT of float
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LPAREN
+  | RPAREN
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | EQUAL
+  | COLON
+  | SEMI
+  | EOF
+
+let to_string = function
+  | KERNEL -> "kernel"
+  | PARAM -> "param"
+  | ARRAY -> "array"
+  | VAR -> "var"
+  | FOR -> "for"
+  | TO -> "to"
+  | INT_T -> "int"
+  | FLOAT_T -> "float"
+  | SQRT -> "sqrt"
+  | ABS -> "abs"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT n -> string_of_int n
+  | FLOAT f -> string_of_float f
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | EQUAL -> "="
+  | COLON -> ":"
+  | SEMI -> ";"
+  | EOF -> "end of input"
+
+type located = { token : t; line : int; col : int }

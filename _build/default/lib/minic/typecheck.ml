@@ -1,0 +1,102 @@
+(** Type checking and symbol resolution for [minic] kernels. *)
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type scalar_info = { ty : Ast.ty; observable : bool; init : Ast.literal }
+
+type env = {
+  scalars : (string * scalar_info) list;  (** params and vars, decl order *)
+  arrays : (string * (int * Ast.ty)) list;
+  loop_var : string;
+}
+
+let scalar env name =
+  match List.assoc_opt name env.scalars with
+  | Some info -> info
+  | None -> error "unknown scalar %S" name
+
+let array env name =
+  match List.assoc_opt name env.arrays with
+  | Some info -> info
+  | None -> error "unknown array %S" name
+
+let lit_ty = function Ast.Lint _ -> Ast.Tint | Ast.Lfloat _ -> Ast.Tfloat
+
+let rec check_index env = function
+  | Ast.Ivar | Ast.Iconst _ -> ()
+  | Ast.Iplus (i, _) -> check_index env i
+  | Ast.Igather (a, i) ->
+      let _, ty = array env a in
+      if ty <> Ast.Tint then
+        error "array %S used as an index source must be declared ': int'" a;
+      check_index env i
+
+let rec type_of env = function
+  | Ast.Lit l -> lit_ty l
+  | Ast.Scalar s -> (scalar env s).ty
+  | Ast.Elem (a, i) ->
+      check_index env i;
+      snd (array env a)
+  | Ast.Neg e -> type_of env e
+  | Ast.Sqrt e | Ast.Abs e ->
+      let t = type_of env e in
+      if t <> Ast.Tfloat then error "sqrt/abs expect a float argument";
+      t
+  | Ast.Bin (_, op, a, b) ->
+      let ta = type_of env a and tb = type_of env b in
+      if ta <> tb then
+        error "operator '%c' applied to mixed int/float operands" op;
+      ta
+
+let check_stmt env = function
+  | Ast.Assign_elem (a, i, e) ->
+      check_index env i;
+      let _, ty = array env a in
+      if type_of env e <> ty then
+        error "store into %S of a value of the wrong type" a
+  | Ast.Assign_scalar (v, e) ->
+      let info = scalar env v in
+      if not info.observable then
+        error "%S is a param (immutable); declare it with 'var' to assign" v;
+      if type_of env e <> info.ty then
+        error "assignment to %S of a value of the wrong type" v
+
+(** [check k] resolves and checks kernel [k], returning its typing
+    environment.  Raises {!Error} with a message on ill-typed input. *)
+let check (k : Ast.kernel) =
+  let scalars, arrays =
+    List.fold_left
+      (fun (scalars, arrays) d ->
+        let dup name l =
+          if List.mem_assoc name l then error "duplicate declaration of %S" name
+        in
+        match d with
+        | Ast.Param (name, ty, init) ->
+            dup name scalars;
+            if lit_ty init <> ty then error "param %S initialiser type" name;
+            ((name, { ty; observable = false; init }) :: scalars, arrays)
+        | Ast.Var (name, ty, init) ->
+            dup name scalars;
+            if lit_ty init <> ty then error "var %S initialiser type" name;
+            ((name, { ty; observable = true; init }) :: scalars, arrays)
+        | Ast.Array_decl (name, size, ty) ->
+            dup name arrays;
+            if size <= 0 then error "array %S has non-positive size" name;
+            (scalars, (name, (size, ty)) :: arrays))
+      ([], []) k.Ast.decls
+  in
+  let env =
+    {
+      scalars = List.rev scalars;
+      arrays = List.rev arrays;
+      loop_var = k.Ast.loop.Ast.var;
+    }
+  in
+  if List.mem_assoc env.loop_var env.scalars then
+    error "loop variable %S shadows a scalar" env.loop_var;
+  if env.loop_var = "n" then error "loop variable may not be called 'n'";
+  if k.Ast.loop.Ast.body = [] then error "empty loop body";
+  List.iter (check_stmt env) k.Ast.loop.Ast.body;
+  env

@@ -1,0 +1,1 @@
+lib/percolation/ctx.ml: Program Vliw_analysis Vliw_ir Vliw_machine

@@ -1,0 +1,1 @@
+lib/percolation/migrate.ml: Ctx Format Hashtbl List Move_cj Move_op Node Operation Program Vliw_ir

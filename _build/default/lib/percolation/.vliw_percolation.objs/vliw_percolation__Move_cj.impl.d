@@ -1,0 +1,1 @@
+lib/percolation/move_cj.ml: Ctree Ctx Format Hashtbl List Move_op Node Operation Program Vliw_ir Vliw_machine

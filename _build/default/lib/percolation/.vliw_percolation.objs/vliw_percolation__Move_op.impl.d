@@ -1,0 +1,1 @@
+lib/percolation/move_op.ml: Ctree Ctx Format Hashtbl Int List Node Operand Operation Option Program Reg Vliw_analysis Vliw_ir Vliw_machine

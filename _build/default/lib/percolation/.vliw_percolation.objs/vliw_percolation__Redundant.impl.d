@@ -1,0 +1,1 @@
+lib/percolation/redundant.ml: List Node Operand Operation Program Reg Vliw_analysis Vliw_ir

@@ -1,0 +1,24 @@
+(** Shared context for the percolation transformations: the program
+    being transformed, the target machine (resource checks happen at
+    every hop), the liveness oracle, and the renaming policy. *)
+
+open Vliw_ir
+
+type t = {
+  program : Program.t;
+  machine : Vliw_machine.Machine.t;
+  liveness : Vliw_analysis.Liveness.t;
+  rename : bool;  (** repair write-live / move-past-read by renaming *)
+}
+
+(** [make ?rename p ~machine ~exit_live] builds a context with a fresh
+    liveness oracle observing [exit_live] at the program exit. *)
+let make ?(rename = true) program ~machine ~exit_live =
+  {
+    program;
+    machine;
+    liveness = Vliw_analysis.Liveness.make program ~exit_live;
+    rename;
+  }
+
+let live_in t id = Vliw_analysis.Liveness.live_in t.liveness id

@@ -1,0 +1,102 @@
+(** The [migrate] driver (paper Figures 4 and 12).
+
+    [migrate ctx ~target ~op_id] moves one operation as high as
+    possible toward [target]: it recursively descends the subgraph
+    below [target] (post-order, so deeper instances percolate first)
+    and hoists the operation one node per unwinding step with
+    {!Move_op.move} / {!Move_cj.move}.
+
+    The gap-prevention behaviour of Figure 12 is injected through
+    [hooks]:
+    - [allow_hop] is the Gapless-move test (always true by default);
+    - [on_suspend] records an operation stopped by the gap test;
+    - [early_stop] implements "if something moved and ops are
+      suspended then return". *)
+
+open Vliw_ir
+
+type hooks = {
+  allow_hop : from_:int -> to_:int -> op:Operation.t -> bool;
+  on_suspend : Operation.t -> unit;
+  early_stop : moved:int -> bool;
+}
+
+(** Hooks that never suspend: plain Percolation Scheduling
+    (Figure 4). *)
+let no_hooks =
+  {
+    allow_hop = (fun ~from_:_ ~to_:_ ~op:_ -> true);
+    on_suspend = (fun _ -> ());
+    early_stop = (fun ~moved:_ -> false);
+  }
+
+type outcome = {
+  moved : int;  (** number of successful one-node hops *)
+  reached_target : bool;
+  final_id : int;  (** operation id after the walk (clones may rename it) *)
+  last_failure : string option;
+}
+
+(* Attempt one hop of [op] from [s] into [n]; returns the (possibly
+   new) op id on success. *)
+let hop (ctx : Ctx.t) hooks ~from_:s ~to_:n ~op_id =
+  let p = ctx.Ctx.program in
+  let from_node = Program.node p s in
+  match Node.find_any from_node op_id with
+  | None -> Error "operation vanished"
+  | Some op ->
+      if not (hooks.allow_hop ~from_:s ~to_:n ~op) then begin
+        hooks.on_suspend op;
+        Error "gap prevention"
+      end
+      else if Operation.is_cjump op then
+        match Move_cj.move ctx ~from_:s ~to_:n ~cj_id:op_id with
+        | Ok r -> Ok r.Move_cj.cj.Operation.id
+        | Error f -> Error (Format.asprintf "%a" Move_cj.pp_failure f)
+      else
+        match Move_op.move ctx ~from_:s ~to_:n ~op_id with
+        | Ok r -> Ok r.Move_op.op.Operation.id
+        | Error f -> Error (Format.asprintf "%a" Move_op.pp_failure f)
+
+(** [migrate ctx ?hooks ~target ~op_id ()] — see module comment.
+    Returns how far the operation got. *)
+let migrate (ctx : Ctx.t) ?(hooks = no_hooks) ~target ~op_id () =
+  let p = ctx.Ctx.program in
+  let moved = ref 0 in
+  let current = ref op_id in
+  let last_failure = ref None in
+  let visited = Hashtbl.create 64 in
+  let rec go nid =
+    if hooks.early_stop ~moved:!moved || Hashtbl.mem visited nid then ()
+    else begin
+      Hashtbl.replace visited nid ();
+      match Program.node_opt p nid with
+      | None -> ()
+      | Some _ ->
+          (* Recurse first: deeper occurrences percolate up before we
+             try to pull the op across this level (Figure 4). *)
+          List.iter
+            (fun s -> if not (Program.is_exit p s) then go s)
+            (Program.succs p nid);
+          if hooks.early_stop ~moved:!moved then ()
+          else if Program.node_opt p nid = None then ()
+          else
+            List.iter
+              (fun s ->
+                if (not (Program.is_exit p s)) && Program.home p !current = Some s
+                then
+                  match hop ctx hooks ~from_:s ~to_:nid ~op_id:!current with
+                  | Ok id' ->
+                      incr moved;
+                      current := id'
+                  | Error msg -> last_failure := Some msg)
+              (Program.succs p nid)
+    end
+  in
+  go target;
+  {
+    moved = !moved;
+    reached_target = Program.home p !current = Some target;
+    final_id = !current;
+    last_failure = !last_failure;
+  }

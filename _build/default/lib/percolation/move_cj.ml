@@ -1,0 +1,124 @@
+(** The [move-cj] core transformation (paper Figure 3).
+
+    Moves the *root* conditional jump of node [from_] up into the
+    predecessor [to_]: every leaf of [to_]'s tree pointing at [from_]
+    is replaced by a branch on the jump whose two arms lead to copies
+    of [from_] specialised to the true and false sub-trees.
+
+    Specialisation distributes [from_]'s operations by guard: an
+    operation guarded by the moved conditional lands only on its arm
+    (with that guard entry stripped — reaching the copy now implies
+    the outcome), while unguarded operations are duplicated onto both
+    arms, the code duplication inherent to Percolation Scheduling.
+    The original node survives untouched for any other predecessors.
+
+    Only the root of the conditional tree may move: deeper jumps
+    execute under their ancestors' outcomes and become roots themselves
+    once those ancestors have moved. *)
+
+open Vliw_ir
+module Machine = Vliw_machine.Machine
+
+type failure =
+  | Not_adjacent
+  | Not_root_cjump
+  | True_dependence of Operation.t
+  | No_room
+
+type report = {
+  cj : Operation.t;  (** the jump as it now appears in [to_] *)
+  true_copy : int;  (** node entered when the condition holds *)
+  false_copy : int;  (** node entered otherwise *)
+}
+
+let pp_failure ppf = function
+  | Not_adjacent -> Format.pp_print_string ppf "nodes not adjacent"
+  | Not_root_cjump ->
+      Format.pp_print_string ppf "operation is not the root conditional"
+  | True_dependence op ->
+      Format.fprintf ppf "true dependence on %a" Operation.pp op
+  | No_room -> Format.pp_print_string ppf "no free branch resources"
+
+exception Fail of failure
+
+(* Forwarding of the jump's operands through copies in to_, sharing
+   the logic (and failure mode) of Move_op. *)
+let forward_cj ~landing (to_node : Node.t) (cj : Operation.t) =
+  match Move_op.forward_sources ~landing to_node cj with
+  | cj' -> cj'
+  | exception Move_op.Fail (Move_op.True_dependence op) ->
+      raise (Fail (True_dependence op))
+  | exception Move_op.Fail _ -> raise (Fail Not_adjacent)
+
+let move (ctx : Ctx.t) ~from_ ~to_ ~cj_id =
+  let p = ctx.Ctx.program in
+  match
+    (let to_node = Program.node p to_ and from_node = Program.node p from_ in
+     if from_ = to_ then raise (Fail Not_adjacent);
+     let landing =
+       match Ctree.path_to to_node.Node.ctree from_ with
+       | Some path -> path
+       | None -> raise (Fail Not_adjacent)
+     in
+     let cj, tt, tf =
+       match Ctree.split_root from_node.Node.ctree with
+       | Some (cj, tt, tf) when cj.Operation.id = cj_id -> (cj, tt, tf)
+       | Some _ | None -> raise (Fail Not_root_cjump)
+     in
+     let cj = forward_cj ~landing to_node cj in
+     if not (Machine.room_for ctx.Ctx.machine to_node cj) then
+       raise (Fail No_room);
+     (* If from_ has predecessors other than to_, it must survive
+        intact for them, so every piece we build gets fresh operation
+        ids; otherwise the true-arm copy can reuse the originals (and
+        from_ is garbage-collected). *)
+     let retained =
+       match Hashtbl.find_opt (Program.preds p) from_ with
+       | Some l -> List.exists (fun q -> q <> to_) l
+       | None -> false
+     in
+     let retained = retained || Ctree.all_paths_to to_node.Node.ctree from_ > 1 in
+     let moved_cj = if retained then Program.copy_op p cj else cj in
+     (* Specialise from_ to one arm of [cj]: keep the ops whose guard
+        admits the arm (stripping the decided entry), duplicate the
+        unguarded ones. *)
+     let arm_ops ~taken =
+       List.filter_map
+         (fun (op : Operation.t) ->
+           Operation.strip_guard_head op ~cj:cj_id ~taken)
+         from_node.Node.ops
+     in
+     let specialise tree ~taken ~fresh_ops =
+       let ops = arm_ops ~taken in
+       match tree, ops with
+       | Ctree.Leaf s, [] -> s
+       | _, _ ->
+           let ops, tree =
+             if fresh_ops then Program.clone_instruction p ~ops ~ctree:tree
+             else (ops, tree)
+           in
+           (Program.fresh_node p ~ops ~ctree:tree).Node.id
+     in
+     let t_id = specialise tt ~taken:true ~fresh_ops:retained in
+     let f_id = specialise tf ~taken:false ~fresh_ops:true in
+     (* Replace the first leaf of to_ pointing at from_ by the branch;
+        ops of to_ guarded along that path keep their guards (the new
+        branch extends the path below them, decisions above are
+        unchanged). *)
+     let first = ref true in
+     let rec rewrite = function
+       | Ctree.Leaf s when s = from_ && !first ->
+           first := false;
+           Ctree.Branch (moved_cj, Ctree.Leaf t_id, Ctree.Leaf f_id)
+       | Ctree.Leaf s -> Ctree.Leaf s
+       | Ctree.Branch (j, a, b) ->
+           let a = rewrite a in
+           Ctree.Branch (j, a, rewrite b)
+     in
+     let to_node = Program.node p to_ in
+     Program.set_ctree p to_ (rewrite to_node.Node.ctree);
+     ignore (Program.gc p);
+     { cj = moved_cj; true_copy = t_id; false_copy = f_id })
+  with
+  | r -> Ok r
+  | exception Fail f -> Error f

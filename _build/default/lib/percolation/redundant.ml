@@ -1,0 +1,186 @@
+(** Redundant-operation removal (paper, end of section 4).
+
+    "As a result of compaction, some operations in the original code
+    become redundant and are removed. ... This is the reason that some
+    of the speed-ups in Table 1 are larger than the apparent maximum
+    indicated by the number of functional units."
+
+    Three passes:
+    - [eliminate_dead]: drops operations whose destination is dead
+      (typically copies left behind by renaming once every consumer
+      has been forwarded past them);
+    - [forward_memory]: store-to-load forwarding and redundant-load
+      elimination over a single-operation-per-node chain (the shape
+      the scheduler receives), turning provably-same-address reloads
+      into register copies — the LL11/LL12 effect;
+    - [forward_copies]: rewrites uses through copies within the
+      straight-line chain so dead-copy elimination can fire. *)
+
+open Vliw_ir
+module Alias = Vliw_analysis.Alias
+module Liveness = Vliw_analysis.Liveness
+
+(** [eliminate_dead p ~exit_live] removes non-memory, non-jump
+    operations whose destination is not live out of their node.
+    Iterates to a fixpoint; returns the number removed. *)
+let eliminate_dead (p : Program.t) ~exit_live =
+  let removed = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    continue_ := false;
+    let live = Liveness.make p ~exit_live in
+    let victims =
+      Program.fold_nodes p
+        (fun n acc ->
+          if Program.is_exit p n.Node.id then acc
+          else
+            let out = Liveness.live_out live n.Node.id in
+            List.fold_left
+              (fun acc (op : Operation.t) ->
+                (* VLIW reads-before-writes: same-node readers of [d]
+                   see the pre-instruction value, so only live-out
+                   matters. *)
+                match Operation.def op with
+                | Some d
+                  when (not (Operation.is_store op))
+                       && not (Reg.Set.mem d out) ->
+                    (n.Node.id, op.Operation.id) :: acc
+                | _ -> acc)
+              acc n.Node.ops)
+        []
+    in
+    List.iter
+      (fun (nid, oid) ->
+        match Program.node_opt p nid with
+        | Some n when Node.mem_op n oid ->
+            Program.remove_op p nid oid;
+            incr removed;
+            continue_ := true
+        | _ -> ())
+      victims
+  done;
+  !removed
+
+(* The chain of nodes from the entry following unique successors; the
+   shape of an unwound, not-yet-scheduled loop.  Stops at the exit or
+   at the first node with several successors beyond its own exit
+   test. *)
+let main_chain (p : Program.t) =
+  let rec go acc id =
+    if Program.is_exit p id then List.rev acc
+    else
+      let n = Program.node p id in
+      let nexts =
+        List.filter (fun s -> not (Program.is_exit p s)) (Node.succs n)
+      in
+      match nexts with
+      | [ s ] -> go (id :: acc) s
+      | [] -> List.rev (id :: acc)
+      | _ -> List.rev (id :: acc)
+  in
+  go [] p.Program.entry
+
+(** [forward_memory p] — on the main chain, replace a load whose
+    address provably holds a known value (stored or loaded earlier,
+    with no intervening may-aliasing store and no redefinition of the
+    involved registers) by a register copy.  Returns the number of
+    loads rewritten. *)
+let forward_memory (p : Program.t) =
+  let chain = main_chain p in
+  let rewritten = ref 0 in
+  (* available: (addr, operand holding the value) *)
+  let avail : (Operation.addr * Operand.t) list ref = ref [] in
+  let kill_reg r =
+    avail :=
+      List.filter
+        (fun ((a : Operation.addr), v) ->
+          (not (List.exists (Reg.equal r) (Operand.regs a.Operation.base)))
+          && not (List.exists (Reg.equal r) (Operand.regs v)))
+        !avail
+  in
+  let kill_store addr =
+    avail := List.filter (fun (a, _) -> not (Alias.may_alias addr a)) !avail
+  in
+  List.iter
+    (fun nid ->
+      let n = Program.node p nid in
+      List.iter
+        (fun (op : Operation.t) ->
+          (match op.Operation.kind with
+          | Operation.Load (d, a) -> (
+              match
+                List.find_opt (fun (a', _) -> Alias.must_alias a a') !avail
+              with
+              | Some (_, v) ->
+                  Program.replace_op p nid
+                    { op with Operation.kind = Operation.Copy (d, v) };
+                  incr rewritten;
+                  kill_reg d;
+                  avail := (a, Operand.Reg d) :: !avail
+              | None ->
+                  kill_reg d;
+                  avail := (a, Operand.Reg d) :: !avail)
+          | Operation.Store (a, v) ->
+              kill_store a;
+              avail := (a, v) :: !avail
+          | Operation.Binop _ | Operation.Unop _ | Operation.Copy _ -> (
+              match Operation.def op with
+              | Some d -> kill_reg d
+              | None -> ())
+          | Operation.Cjump _ -> ()))
+        n.Node.ops)
+    chain;
+  !rewritten
+
+(** [forward_copies p] — on the main chain, rewrite every use of a
+    copy's destination into a use of its source (when the source is
+    not redefined in between), enabling [eliminate_dead] to collect
+    the copies.  Returns the number of operand rewrites. *)
+let forward_copies (p : Program.t) =
+  let chain = main_chain p in
+  let rewrites = ref 0 in
+  (* copy environment: dst reg -> source operand *)
+  let env : (Reg.t * Operand.t) list ref = ref [] in
+  let kill_reg r =
+    env :=
+      List.filter
+        (fun (d, v) ->
+          (not (Reg.equal d r)) && not (List.exists (Reg.equal r) (Operand.regs v)))
+        !env
+  in
+  List.iter
+    (fun nid ->
+      let n = Program.node p nid in
+      List.iter
+        (fun (op : Operation.t) ->
+          let op' =
+            Operation.map_operands
+              (fun o ->
+                List.fold_left
+                  (fun o (d, v) ->
+                    match Operand.forward o ~copy_dst:d ~copy_src:v with
+                    | Some o' ->
+                        if not (Operand.equal o o') then incr rewrites;
+                        o'
+                    | None -> o)
+                  o !env)
+              op
+          in
+          if op'.Operation.kind <> op.Operation.kind then
+            Program.replace_op p nid op';
+          (match Operation.def op' with Some d -> kill_reg d | None -> ());
+          match op'.Operation.kind with
+          | Operation.Copy (d, v) -> env := (d, v) :: !env
+          | _ -> ())
+        n.Node.ops)
+    chain;
+  !rewrites
+
+(** [cleanup p ~exit_live] — the full redundancy pipeline: memory
+    forwarding, copy forwarding, dead-code elimination; returns
+    (loads_forwarded, copies_forwarded, dead_removed). *)
+let cleanup (p : Program.t) ~exit_live =
+  let l = forward_memory p in
+  let c = forward_copies p in
+  let d = eliminate_dead p ~exit_live in
+  (l, c, d)

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: Ctree List Node Opcode Operand Operation Program Reg State Value Vliw_ir

@@ -1,0 +1,1 @@
+lib/sim/oracle.ml: Array Exec Float Format Hashtbl List Printf Reg State Value Vliw_ir

@@ -1,0 +1,1 @@
+lib/sim/state.ml: Array Format Hashtbl List Reg Value Vliw_ir

@@ -1,0 +1,61 @@
+(** Machine state for the simulators: a register file and a set of
+    named word-addressed arrays. *)
+
+open Vliw_ir
+
+type t = {
+  regs : (Reg.t, Value.t) Hashtbl.t;
+  mem : (string, Value.t array) Hashtbl.t;
+}
+
+(** [init ~regs ~arrays] builds a state.  Arrays are copied so callers
+    can reuse initial data across runs. *)
+let init ~regs ~arrays =
+  let t = { regs = Hashtbl.create 64; mem = Hashtbl.create 8 } in
+  List.iter (fun (r, v) -> Hashtbl.replace t.regs r v) regs;
+  List.iter (fun (s, a) -> Hashtbl.replace t.mem s (Array.copy a)) arrays;
+  t
+
+(** [copy t] is a deep copy (used by the equivalence oracle to run two
+    programs from identical states). *)
+let copy t =
+  {
+    regs = Hashtbl.copy t.regs;
+    mem =
+      (let m = Hashtbl.create 8 in
+       Hashtbl.iter (fun s a -> Hashtbl.replace m s (Array.copy a)) t.mem;
+       m);
+  }
+
+exception Fault of string
+
+let fault fmt = Format.kasprintf (fun s -> raise (Fault s)) fmt
+
+(** [read_reg t r] — uninitialised registers fault, which catches
+    scheduling bugs that let a use overtake its def. *)
+let read_reg t r =
+  match Hashtbl.find_opt t.regs r with
+  | Some v -> v
+  | None -> fault "read of uninitialised register %s" (Reg.to_string r)
+
+let write_reg t r v = Hashtbl.replace t.regs r v
+
+let array t sym =
+  match Hashtbl.find_opt t.mem sym with
+  | Some a -> a
+  | None -> fault "unknown array %s" sym
+
+let read_mem t sym idx =
+  let a = array t sym in
+  if idx < 0 || idx >= Array.length a then
+    fault "out-of-bounds read %s[%d] (length %d)" sym idx (Array.length a)
+  else a.(idx)
+
+let write_mem t sym idx v =
+  let a = array t sym in
+  if idx < 0 || idx >= Array.length a then
+    fault "out-of-bounds write %s[%d] (length %d)" sym idx (Array.length a)
+  else a.(idx) <- v
+
+(** [reg_opt t r] reads a register without faulting. *)
+let reg_opt t r = Hashtbl.find_opt t.regs r

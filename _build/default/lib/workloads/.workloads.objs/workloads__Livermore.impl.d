@@ -1,0 +1,1 @@
+lib/workloads/livermore.ml: Grip List Opcode Operand Operation Reg String Value Vliw_ir

@@ -1,0 +1,1 @@
+lib/workloads/paper_examples.ml: Grip Opcode Operand Operation Reg Value Vliw_ir

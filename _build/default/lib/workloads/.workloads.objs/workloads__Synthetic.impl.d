@@ -1,0 +1,1 @@
+lib/workloads/synthetic.ml: Grip List Opcode Operand Operation Printf Reg Value Vliw_ir

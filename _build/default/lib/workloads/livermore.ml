@@ -1,0 +1,365 @@
+(** The first 14 Livermore Loops, ported to [Minic]-level kernels with
+    the dataflow of the originals (Table 1's workload).
+
+    Each kernel keeps the original's dependence structure — the
+    property that determines its speedup shape: recurrences (LL5, LL6,
+    LL11) bound the initiation interval; gather/scatter kernels (LL13,
+    LL14) defeat static disambiguation; wide expressions (LL7, LL9)
+    expose near-machine-width parallelism.  Bodies are simplified
+    transcriptions, not line-for-line Fortran ports, and a few
+    multi-loop kernels are represented by their innermost loop; each
+    entry records the paper's Table 1 speedups for shape comparison in
+    EXPERIMENTS.md.
+
+    Register convention: [r0] induction, [r1] trip bound (set by the
+    driver), [r2..r9] named scalars, [r10+] expression temporaries. *)
+
+open Vliw_ir
+
+let reg = Reg.of_int
+let k = reg 0
+let n = reg 1
+let imm i = Operand.Imm (Value.I i)
+let fimm x = Operand.Imm (Value.F x)
+let addr ?(base = Operand.Reg k) sym offset = { Operation.sym; base; offset }
+let load d sym off = Operation.Load (reg d, addr sym off)
+let load_at d sym base = Operation.Load (reg d, addr ~base:(Operand.Reg (reg base)) sym 0)
+let store sym off v = Operation.Store (addr sym off, Operand.Reg (reg v))
+let fmul d a b = Operation.Binop (Opcode.Fmul, reg d, a, b)
+let fadd d a b = Operation.Binop (Opcode.Fadd, reg d, a, b)
+let fsub d a b = Operation.Binop (Opcode.Fsub, reg d, a, b)
+let r i = Operand.Reg (reg i)
+
+type entry = {
+  kernel : Grip.Kernel.t;
+  data : string -> int -> Value.t;
+  paper_grip : float * float * float;  (** Table 1 speedups at 2/4/8 FUs *)
+  paper_post : float * float * float;
+}
+
+let float_data _sym i = Value.F (1.0 +. (0.001 *. float_of_int ((i * 13 mod 97) + 1)))
+
+(* gather/scatter index data: valid, repeating indices *)
+let pic_data sym i =
+  if String.length sym > 0 && sym.[0] = 'i' then Value.I (i * 7 mod 64)
+  else float_data sym i
+
+let mk ~name ~description ~pre ~body ?(step = 1) ?(observable = []) ~arrays
+    ?(data = float_data) ~paper_grip ~paper_post () =
+  {
+    kernel =
+      Grip.Kernel.make ~name ~description ~pre ~body ~ivar:k ~step
+        ~bound:(Operand.Reg n) ~observable ~arrays
+        ~params:[ (n, Value.I 16) ]
+        ();
+    data;
+    paper_grip;
+    paper_post;
+  }
+
+(* LL1 — hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]) *)
+let ll1 =
+  mk ~name:"LL1" ~description:"hydro fragment"
+    ~pre:
+      [
+        Operation.Copy (k, imm 0);
+        Operation.Copy (reg 2, fimm 0.5) (* q *);
+        Operation.Copy (reg 3, fimm 0.25) (* r *);
+        Operation.Copy (reg 4, fimm 0.125) (* t *);
+      ]
+    ~body:
+      [
+        load 10 "z" 10;
+        load 11 "z" 11;
+        fmul 12 (r 3) (r 10);
+        fmul 13 (r 4) (r 11);
+        fadd 14 (r 12) (r 13);
+        load 15 "y" 0;
+        fmul 16 (r 15) (r 14);
+        fadd 17 (r 2) (r 16);
+        store "x" 0 17;
+      ]
+    ~arrays:[ ("x", 128); ("y", 128); ("z", 160) ]
+    ~paper_grip:(2.0, 4.0, 7.9) ~paper_post:(2.0, 3.5, 7.0) ()
+
+(* LL2 — ICCG inner sweep (long-distance recurrence, effectively
+   parallel at pipelining horizons): x[k] = x[k] - z[k]*x[k+64] *)
+let ll2 =
+  mk ~name:"LL2" ~description:"incomplete Cholesky conjugate gradient"
+    ~pre:[ Operation.Copy (k, imm 0) ]
+    ~body:
+      [
+        load 10 "x" 64;
+        load 11 "z" 0;
+        fmul 12 (r 11) (r 10);
+        load 13 "x" 0;
+        fsub 14 (r 13) (r 12);
+        store "x" 0 14;
+      ]
+    ~arrays:[ ("x", 192); ("z", 128) ]
+    ~paper_grip:(2.0, 3.8, 7.3) ~paper_post:(1.9, 3.6, 6.9) ()
+
+(* LL3 — inner product: q = q + z[k]*x[k] (scalar recurrence) *)
+let ll3 =
+  mk ~name:"LL3" ~description:"inner product"
+    ~pre:[ Operation.Copy (k, imm 0); Operation.Copy (reg 2, fimm 0.0) ]
+    ~body:
+      [
+        load 10 "z" 0;
+        load 11 "x" 0;
+        fmul 12 (r 10) (r 11);
+        fadd 2 (r 2) (r 12);
+      ]
+    ~observable:[ reg 2 ]
+    ~arrays:[ ("x", 128); ("z", 128) ]
+    ~paper_grip:(2.0, 4.0, 8.0) ~paper_post:(1.8, 3.0, 4.5) ()
+
+(* LL4 — banded linear equations (inner elimination step, no short
+   recurrence): x[k+5] = x[k+5] - q*y[k] *)
+let ll4 =
+  mk ~name:"LL4" ~description:"banded linear equations"
+    ~pre:[ Operation.Copy (k, imm 0); Operation.Copy (reg 2, fimm 1.5) ]
+    ~body:
+      [
+        load 10 "y" 0;
+        fmul 11 (r 10) (r 2);
+        load 12 "x" 5;
+        fsub 13 (r 12) (r 11);
+        store "x" 5 13;
+      ]
+    ~arrays:[ ("x", 160); ("y", 128) ]
+    ~paper_grip:(2.0, 4.3, 8.4) ~paper_post:(2.0, 3.9, 5.9) ()
+
+(* LL5 — tridiagonal elimination: x[k] = z[k]*(y[k] - x[k-1])
+   (distance-1 recurrence through memory) *)
+let ll5 =
+  mk ~name:"LL5" ~description:"tridiagonal elimination, below diagonal"
+    ~pre:[ Operation.Copy (k, imm 1) ]
+    ~body:
+      [
+        load 10 "z" 0;
+        load 11 "y" 0;
+        load 12 "x" (-1);
+        fsub 13 (r 11) (r 12);
+        fmul 14 (r 10) (r 13);
+        store "x" 0 14;
+      ]
+    ~arrays:[ ("x", 160); ("y", 160); ("z", 160) ]
+    ~paper_grip:(2.0, 4.4, 5.5) ~paper_post:(2.2, 3.7, 5.5) ()
+
+(* LL6 — general linear recurrence: w[k] = u[k] + q*w[k-1] *)
+let ll6 =
+  mk ~name:"LL6" ~description:"general linear recurrence equations"
+    ~pre:[ Operation.Copy (k, imm 1); Operation.Copy (reg 2, fimm 0.3) ]
+    ~body:
+      [
+        load 10 "u" 0;
+        load 11 "w" (-1);
+        fmul 12 (r 2) (r 11);
+        fadd 13 (r 10) (r 12);
+        store "w" 0 13;
+      ]
+    ~arrays:[ ("u", 160); ("w", 160) ]
+    ~paper_grip:(2.0, 3.6, 3.6) ~paper_post:(1.8, 2.8, 3.3) ()
+
+(* LL7 — equation of state fragment: a wide, recurrence-free
+   expression *)
+let ll7 =
+  mk ~name:"LL7" ~description:"equation of state fragment"
+    ~pre:
+      [
+        Operation.Copy (k, imm 0);
+        Operation.Copy (reg 2, fimm 0.25) (* r *);
+        Operation.Copy (reg 3, fimm 0.125) (* t *);
+      ]
+    ~body:
+      [
+        load 10 "u" 0;
+        load 11 "z" 0;
+        load 12 "y" 0;
+        load 13 "u" 1;
+        load 14 "u" 2;
+        load 15 "u" 3;
+        load 16 "u" 4;
+        load 17 "u" 5;
+        load 18 "u" 6;
+        fmul 19 (r 2) (r 12);
+        fadd 20 (r 11) (r 19);
+        fmul 21 (r 2) (r 20);
+        fmul 22 (r 2) (r 13);
+        fadd 23 (r 14) (r 22);
+        fmul 24 (r 2) (r 23);
+        fadd 25 (r 15) (r 24);
+        fmul 26 (r 2) (r 16);
+        fadd 27 (r 17) (r 26);
+        fmul 28 (r 2) (r 27);
+        fadd 29 (r 18) (r 28);
+        fmul 30 (r 3) (r 29);
+        fadd 31 (r 25) (r 30);
+        fmul 32 (r 3) (r 31);
+        fadd 33 (r 10) (r 21);
+        fadd 34 (r 33) (r 32);
+        store "x" 0 34;
+      ]
+    ~arrays:[ ("x", 128); ("y", 128); ("z", 128); ("u", 160) ]
+    ~paper_grip:(2.0, 4.0, 7.9) ~paper_post:(1.9, 3.9, 7.6) ()
+
+(* LL8 — ADI integration (two-variable fragment, independent
+   iterations) *)
+let ll8 =
+  mk ~name:"LL8" ~description:"ADI integration"
+    ~pre:
+      [
+        Operation.Copy (k, imm 1);
+        Operation.Copy (reg 2, fimm 0.7) (* a11 *);
+        Operation.Copy (reg 3, fimm 0.2) (* a12 *);
+        Operation.Copy (reg 4, fimm 0.4) (* a21 *);
+        Operation.Copy (reg 5, fimm 0.9) (* a22 *);
+      ]
+    ~body:
+      [
+        load 10 "u1" 1;
+        load 11 "u1" (-1);
+        fsub 12 (r 10) (r 11);
+        load 13 "u2" 1;
+        load 14 "u2" (-1);
+        fsub 15 (r 13) (r 14);
+        load 16 "u1" 0;
+        fmul 17 (r 2) (r 12);
+        fmul 18 (r 3) (r 15);
+        fadd 19 (r 17) (r 18);
+        fadd 20 (r 16) (r 19);
+        store "v1" 0 20;
+        load 21 "u2" 0;
+        fmul 22 (r 4) (r 12);
+        fmul 23 (r 5) (r 15);
+        fadd 24 (r 22) (r 23);
+        fadd 25 (r 21) (r 24);
+        store "v2" 0 25;
+      ]
+    ~arrays:[ ("u1", 160); ("u2", 160); ("v1", 160); ("v2", 160) ]
+    ~paper_grip:(2.0, 3.4, 4.3) ~paper_post:(1.9, 3.1, 4.0) ()
+
+(* LL9 — integrate predictors: x[k] = b*x[k] + c*(y0+y1+y2+y3) *)
+let ll9 =
+  mk ~name:"LL9" ~description:"integrate predictors"
+    ~pre:
+      [
+        Operation.Copy (k, imm 0);
+        Operation.Copy (reg 2, fimm 0.99) (* b *);
+        Operation.Copy (reg 3, fimm 0.01) (* c *);
+      ]
+    ~body:
+      [
+        load 10 "x" 0;
+        load 11 "y0" 0;
+        load 12 "y1" 0;
+        load 13 "y2" 0;
+        load 14 "y3" 0;
+        fadd 15 (r 11) (r 12);
+        fadd 16 (r 13) (r 14);
+        fadd 17 (r 15) (r 16);
+        fmul 18 (r 3) (r 17);
+        fmul 19 (r 2) (r 10);
+        fadd 20 (r 19) (r 18);
+        store "x" 0 20;
+      ]
+    ~arrays:[ ("x", 128); ("y0", 128); ("y1", 128); ("y2", 128); ("y3", 128) ]
+    ~paper_grip:(2.0, 4.0, 7.9) ~paper_post:(2.0, 3.9, 7.7) ()
+
+(* LL10 — difference predictors: a cascade of differences with
+   state updates (long intra-iteration chain, independent columns) *)
+let ll10 =
+  mk ~name:"LL10" ~description:"difference predictors"
+    ~pre:[ Operation.Copy (k, imm 0) ]
+    ~body:
+      [
+        load 10 "cx" 0;
+        load 11 "p0" 0;
+        fsub 12 (r 10) (r 11);
+        store "p0" 0 10;
+        load 13 "p1" 0;
+        fsub 14 (r 12) (r 13);
+        store "p1" 0 12;
+        load 15 "p2" 0;
+        fsub 16 (r 14) (r 15);
+        store "p2" 0 14;
+        load 17 "p3" 0;
+        fsub 18 (r 16) (r 17);
+        store "p3" 0 16;
+        store "dx" 0 18;
+      ]
+    ~arrays:
+      [ ("cx", 128); ("p0", 128); ("p1", 128); ("p2", 128); ("p3", 128); ("dx", 128) ]
+    ~paper_grip:(2.0, 4.0, 7.1) ~paper_post:(2.0, 2.9, 3.6) ()
+
+(* LL11 — first sum: x[k] = x[k-1] + y[k] (the redundant-load
+   showcase: store-to-load forwarding turns the reload into a copy,
+   pushing speedup past the FU count) *)
+let ll11 =
+  mk ~name:"LL11" ~description:"first sum"
+    ~pre:[ Operation.Copy (k, imm 1) ]
+    ~body:
+      [ load 10 "x" (-1); load 11 "y" 0; fadd 12 (r 10) (r 11); store "x" 0 12 ]
+    ~arrays:[ ("x", 160); ("y", 160) ]
+    ~paper_grip:(2.3, 4.5, 8.9) ~paper_post:(2.3, 4.5, 8.9) ()
+
+(* LL12 — first difference: x[k] = y[k+1] - y[k] (redundant-load
+   elimination across iterations) *)
+let ll12 =
+  mk ~name:"LL12" ~description:"first difference"
+    ~pre:[ Operation.Copy (k, imm 0) ]
+    ~body:
+      [ load 10 "y" 1; load 11 "y" 0; fsub 12 (r 10) (r 11); store "x" 0 12 ]
+    ~arrays:[ ("x", 128); ("y", 160) ]
+    ~paper_grip:(2.0, 4.0, 8.0) ~paper_post:(1.8, 3.0, 4.5) ()
+
+(* LL13 — 2-D particle in cell (gathers and same-array scatters defeat
+   disambiguation) *)
+let ll13 =
+  mk ~name:"LL13" ~description:"2-D particle in cell"
+    ~pre:[ Operation.Copy (k, imm 0); Operation.Copy (reg 2, fimm 1.0) ]
+    ~body:
+      [
+        load 10 "ix" 0;
+        load_at 11 "grid" 10;
+        fadd 12 (r 11) (r 2);
+        Operation.Store (addr ~base:(Operand.Reg (reg 10)) "grid" 0, r 12);
+        load 13 "iy" 0;
+        load_at 14 "grid" 13;
+        fadd 15 (r 14) (r 2);
+        Operation.Store (addr ~base:(Operand.Reg (reg 13)) "grid" 1, r 15);
+        load 16 "vx" 0;
+        fadd 17 (r 16) (r 12);
+        store "vx" 0 17;
+      ]
+    ~arrays:[ ("ix", 128); ("iy", 128); ("grid", 128); ("vx", 128) ]
+    ~data:pic_data ~paper_grip:(2.1, 3.0, 3.0) ~paper_post:(1.9, 2.7, 3.0) ()
+
+(* LL14 — 1-D particle in cell (one gather chain and one scatter) *)
+let ll14 =
+  mk ~name:"LL14" ~description:"1-D particle in cell"
+    ~pre:[ Operation.Copy (k, imm 0); Operation.Copy (reg 2, fimm 0.5) ]
+    ~body:
+      [
+        load 10 "ix" 0;
+        load_at 11 "ex" 10;
+        load 12 "vx" 0;
+        fadd 13 (r 12) (r 11);
+        store "vx" 0 13;
+        fmul 14 (r 13) (r 2);
+        load 15 "xx" 0;
+        fadd 16 (r 15) (r 14);
+        store "xx" 0 16;
+        Operation.Store (addr ~base:(Operand.Reg (reg 10)) "rho" 0, r 16);
+      ]
+    ~arrays:[ ("ix", 128); ("ex", 128); ("vx", 128); ("xx", 128); ("rho", 128) ]
+    ~data:pic_data ~paper_grip:(1.9, 3.7, 4.8) ~paper_post:(1.9, 3.2, 4.5) ()
+
+(** All fourteen kernels, in Table 1 order. *)
+let all =
+  [ ll1; ll2; ll3; ll4; ll5; ll6; ll7; ll8; ll9; ll10; ll11; ll12; ll13; ll14 ]
+
+(** [find name] — lookup by Table 1 name (e.g. "LL7"). *)
+let find name =
+  List.find_opt (fun e -> String.equal e.kernel.Grip.Kernel.name name) all

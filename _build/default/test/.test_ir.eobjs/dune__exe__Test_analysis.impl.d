@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array Builder Ctree List Node Opcode Operand Operation Program Reg Value Vliw_analysis Vliw_ir

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Builder Ctree Int List Node Opcode Operand Operation Option Program Reg Value Vliw_ir Wellformed

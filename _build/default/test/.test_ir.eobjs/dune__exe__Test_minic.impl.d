@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Builder Float Format Grip List Minic Opcode Operand Operation Option Printf Reg String Value Vliw_ir Vliw_machine Vliw_sim Workloads

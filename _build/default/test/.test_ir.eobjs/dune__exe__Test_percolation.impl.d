@@ -1,0 +1,1 @@
+test/test_percolation.ml: Alcotest Array Builder Ctree Format List Node Opcode Operand Operation Printf Program Reg String Value Vliw_ir Vliw_machine Vliw_percolation Vliw_sim Wellformed

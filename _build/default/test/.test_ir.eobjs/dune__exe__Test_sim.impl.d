@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Builder Ctree Float Node Opcode Operand Operation Program Reg Value Vliw_ir Vliw_sim Wellformed

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Builder Format Grip List Node Option Printf Program String Vliw_ir Vliw_machine Vliw_sim Wellformed Workloads

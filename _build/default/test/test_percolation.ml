@@ -1,0 +1,527 @@
+(* Percolation core transformations: move-op, move-cj, renaming,
+   splitting, migrate, redundancy removal — including semantic
+   preservation through the oracle. *)
+
+open Vliw_ir
+module Machine = Vliw_machine.Machine
+module State = Vliw_sim.State
+module Oracle = Vliw_sim.Oracle
+module Ctx = Vliw_percolation.Ctx
+module Move_op = Vliw_percolation.Move_op
+module Move_cj = Vliw_percolation.Move_cj
+module Migrate = Vliw_percolation.Migrate
+module Redundant = Vliw_percolation.Redundant
+
+let reg = Reg.of_int
+let imm n = Operand.Imm (Value.I n)
+let addr ?(sym = "x") base offset = { Operation.sym; base; offset }
+
+let check_wf p = Alcotest.(check (list string)) "well-formed" [] (Wellformed.check p)
+
+let mk_ctx ?(machine = Machine.unlimited) ?(exit_live = []) p =
+  Ctx.make p ~machine ~exit_live:(Reg.Set.of_list exit_live)
+
+(* nth real node on the entry chain *)
+let nth_node p i = List.nth (Program.rpo p) i
+let op_of p nid = List.hd (Program.node p nid).Node.ops
+
+let snapshot_oracle ~observable ~init before k =
+  (* run [k] on a program, then check equivalence against [before] *)
+  let got = k () in
+  (match
+     Oracle.equivalent ~observable ~init before got
+   with
+  | Ok _ -> ()
+  | Error ms ->
+      Alcotest.failf "semantics broken: %s"
+        (String.concat "; " (List.map (Format.asprintf "%a" Oracle.pp_mismatch) ms)))
+
+let indep_program () =
+  Builder.straight
+    [
+      Operation.Copy (reg 0, imm 1);
+      Operation.Copy (reg 1, imm 2);
+      Operation.Binop (Opcode.Add, reg 2, Operand.Reg (reg 0), Operand.Reg (reg 1));
+    ]
+
+let test_move_independent_op () =
+  let p = indep_program () in
+  let ctx = mk_ctx ~exit_live:[ reg 2 ] p in
+  let n1 = nth_node p 1 and n2 = nth_node p 2 in
+  let op2 = op_of p n2 in
+  (match Move_op.move ctx ~from_:n2 ~to_:n1 ~op_id:op2.Operation.id with
+  | Ok r ->
+      Alcotest.(check bool) "no rename" true (r.Move_op.renamed = None);
+      Alcotest.(check bool) "from deleted" true r.Move_op.deleted_from
+  | Error f -> Alcotest.failf "move failed: %a" Move_op.pp_failure f);
+  check_wf p;
+  Alcotest.(check int) "one node fewer" 4 (Program.n_nodes p);
+  Alcotest.(check int) "n1 now has 2 ops" 2 (List.length (Program.node p n1).Node.ops)
+
+let test_move_true_dependence_fails () =
+  (* non-copy def: forwarding cannot bypass a computation *)
+  let p =
+    Builder.straight
+      [
+        Operation.Binop (Opcode.Add, reg 1, Operand.Reg (reg 9), imm 1);
+        Operation.Binop (Opcode.Add, reg 2, Operand.Reg (reg 1), imm 1);
+      ]
+  in
+  let ctx = mk_ctx ~exit_live:[ reg 2 ] p in
+  let n1 = nth_node p 1 and n2 = nth_node p 2 in
+  let op2 = op_of p n2 in
+  match Move_op.move ctx ~from_:n2 ~to_:n1 ~op_id:op2.Operation.id with
+  | Error (Move_op.True_dependence _) -> ()
+  | Error f -> Alcotest.failf "wrong failure: %a" Move_op.pp_failure f
+  | Ok _ -> Alcotest.fail "true dependence must block"
+
+let test_move_forwards_through_copy () =
+  (* n1: r1 <- r0 (copy); n2: r2 <- r1 + 1 — the add can move up by
+     reading r0 directly *)
+  let p =
+    Builder.straight
+      [
+        Operation.Copy (reg 1, Operand.Reg (reg 0));
+        Operation.Binop (Opcode.Add, reg 2, Operand.Reg (reg 1), imm 1);
+      ]
+  in
+  let ctx = mk_ctx ~exit_live:[ reg 2 ] p in
+  let n1 = nth_node p 1 and n2 = nth_node p 2 in
+  let op2 = op_of p n2 in
+  (match Move_op.move ctx ~from_:n2 ~to_:n1 ~op_id:op2.Operation.id with
+  | Ok r -> (
+      match r.Move_op.op.Operation.kind with
+      | Operation.Binop (_, _, Operand.Reg r0, _) when Reg.equal r0 (reg 0) -> ()
+      | k -> Alcotest.failf "not forwarded: %a" Operation.pp_kind k)
+  | Error f -> Alcotest.failf "move failed: %a" Move_op.pp_failure f);
+  check_wf p
+
+let test_read_in_to_is_safe () =
+  (* n1: r1 <- r0 + 1 (reads r0); n2: r0 <- 9.  VLIW fetch-before-store
+     lets the write of r0 join the reading instruction with no rename;
+     semantics must be preserved. *)
+  let mk () =
+    Builder.straight
+      [
+        Operation.Binop (Opcode.Add, reg 1, Operand.Reg (reg 0), imm 1);
+        Operation.Copy (reg 0, imm 9);
+      ]
+  in
+  let p = mk () and reference = mk () in
+  let init = State.init ~regs:[ (reg 0, Value.I 5) ] ~arrays:[] in
+  let ctx = mk_ctx ~exit_live:[ reg 0; reg 1 ] p in
+  let n1 = nth_node p 1 and n2 = nth_node p 2 in
+  let op2 = op_of p n2 in
+  (match Move_op.move ctx ~from_:n2 ~to_:n1 ~op_id:op2.Operation.id with
+  | Ok r -> Alcotest.(check bool) "no rename needed" true (r.Move_op.renamed = None)
+  | Error f -> Alcotest.failf "move failed: %a" Move_op.pp_failure f);
+  check_wf p;
+  snapshot_oracle ~observable:[ reg 0; reg 1 ] ~init reference (fun () -> p)
+
+let test_move_past_read_renames () =
+  (* from-node holds both a reader of r0 and (below it in program
+     order, same instruction later) we hoist the writer of r0 out:
+     n1: r9 <- 0;  n2: { r1 <- r0 + 1; r0 <- 9 }.  Moving [r0 <- 9] up
+     to n1 must rename and leave a copy, because n2's reader expects
+     the old r0. *)
+  let p = Program.create () in
+  let exit_ = p.Program.exit_id in
+  let reader =
+    Operation.make ~id:(Program.fresh_op_id p)
+      (Operation.Binop (Opcode.Add, reg 1, Operand.Reg (reg 0), imm 1))
+  in
+  let writer =
+    Operation.make ~id:(Program.fresh_op_id p) (Operation.Copy (reg 0, imm 9))
+  in
+  let n2 = Program.fresh_node p ~ops:[ reader; writer ] ~ctree:(Ctree.leaf exit_) in
+  let n1 =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:(Program.fresh_op_id p) (Operation.Copy (reg 9, imm 0)) ]
+      ~ctree:(Ctree.leaf n2.Node.id)
+  in
+  Program.redirect p ~from_:p.Program.entry ~old_:exit_ ~new_:n1.Node.id;
+  check_wf p;
+  let ctx = mk_ctx ~exit_live:[ reg 0; reg 1 ] p in
+  (match Move_op.move ctx ~from_:n2.Node.id ~to_:n1.Node.id ~op_id:writer.Operation.id with
+  | Ok r -> Alcotest.(check bool) "renamed" true (r.Move_op.renamed <> None)
+  | Error f -> Alcotest.failf "move failed: %a" Move_op.pp_failure f);
+  check_wf p;
+  (* semantics: r1 = old r0 + 1, r0 = 9 afterwards *)
+  let st = State.init ~regs:[ (reg 0, Value.I 5) ] ~arrays:[] in
+  ignore (Vliw_sim.Exec.run p st);
+  (match State.reg_opt st (reg 1) with
+  | Some (Value.I 6) -> ()
+  | v ->
+      Alcotest.failf "r1 = %s, want 6"
+        (match v with Some v -> Value.to_string v | None -> "unset"));
+  match State.reg_opt st (reg 0) with
+  | Some (Value.I 9) -> ()
+  | _ -> Alcotest.fail "r0 = 9"
+
+let test_store_moves_above_branch_guarded () =
+  (* pre: r0 <- 0; loop-ish shape: n_cj branches; store sits below on
+     the taken side; the store can hoist above the cj (guarded) *)
+  let p = Program.create () in
+  let exit_ = p.Program.exit_id in
+  let store_op =
+    Operation.make ~id:100
+      (Operation.Store (addr (imm 0) 0, imm 42))
+  in
+  let below = Program.fresh_node p ~ops:[ store_op ] ~ctree:(Ctree.leaf exit_) in
+  let cj =
+    Operation.make ~id:101 (Operation.Cjump (Opcode.Lt, Operand.Reg (reg 0), imm 10))
+  in
+  let branch =
+    Program.fresh_node p ~ops:[]
+      ~ctree:(Ctree.Branch (cj, Ctree.Leaf below.Node.id, Ctree.Leaf exit_))
+  in
+  Program.redirect p ~from_:p.Program.entry ~old_:exit_ ~new_:branch.Node.id;
+  let p_ref_state () =
+    State.init ~regs:[ (reg 0, Value.I 1) ] ~arrays:[ ("x", Array.make 2 (Value.I 0)) ]
+  in
+  (* reference: run the unmodified shape *)
+  let ctx = mk_ctx ~exit_live:[] p in
+  (match Move_op.move ctx ~from_:below.Node.id ~to_:branch.Node.id ~op_id:100 with
+  | Ok r ->
+      Alcotest.(check bool) "guarded" true (r.Move_op.op.Operation.guard = [ (101, true) ])
+  | Error f -> Alcotest.failf "store hoist failed: %a" Move_op.pp_failure f);
+  check_wf p;
+  (* taken path commits the store *)
+  let st = p_ref_state () in
+  ignore (Vliw_sim.Exec.run p st);
+  (match State.read_mem st "x" 0 with
+  | Value.I 42 -> ()
+  | v -> Alcotest.failf "taken: x[0] = %s" (Value.to_string v));
+  (* not-taken path must not *)
+  let st2 =
+    State.init ~regs:[ (reg 0, Value.I 99) ] ~arrays:[ ("x", Array.make 2 (Value.I 0)) ]
+  in
+  ignore (Vliw_sim.Exec.run p st2);
+  match State.read_mem st2 "x" 0 with
+  | Value.I 0 -> ()
+  | v -> Alcotest.failf "not taken: x[0] = %s" (Value.to_string v)
+
+let test_resource_limit_blocks () =
+  let p = indep_program () in
+  let ctx = mk_ctx ~machine:(Machine.homogeneous 1) ~exit_live:[ reg 2 ] p in
+  let n1 = nth_node p 1 and n2 = nth_node p 2 in
+  let op2 = op_of p n2 in
+  match Move_op.move ctx ~from_:n2 ~to_:n1 ~op_id:op2.Operation.id with
+  | Error Move_op.No_room -> ()
+  | Error f -> Alcotest.failf "wrong failure: %a" Move_op.pp_failure f
+  | Ok _ -> Alcotest.fail "1-wide machine must refuse"
+
+let test_move_cj_up () =
+  (* n1: r0 <- 5 ; n2: ops r1<-1 + root cj -> exit/exit *)
+  let p = Program.create () in
+  let exit_ = p.Program.exit_id in
+  let cj = Operation.make ~id:50 (Operation.Cjump (Opcode.Lt, Operand.Reg (reg 0), imm 10)) in
+  let t_node =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:51 (Operation.Copy (reg 2, imm 7)) ]
+      ~ctree:(Ctree.leaf exit_)
+  in
+  let n2 =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:52 (Operation.Copy (reg 1, imm 1)) ]
+      ~ctree:(Ctree.Branch (cj, Ctree.Leaf t_node.Node.id, Ctree.Leaf exit_))
+  in
+  let n1 =
+    Program.fresh_node p
+      ~ops:
+        [
+          Operation.make ~id:53
+            (Operation.Binop (Opcode.Add, reg 0, Operand.Reg (reg 9), imm 5));
+        ]
+      ~ctree:(Ctree.leaf n2.Node.id)
+  in
+  Program.redirect p ~from_:p.Program.entry ~old_:exit_ ~new_:n1.Node.id;
+  check_wf p;
+  let ctx = mk_ctx ~exit_live:[ reg 0; reg 1; reg 2 ] p in
+  (match Move_cj.move ctx ~from_:n2.Node.id ~to_:n1.Node.id ~cj_id:50 with
+  | Error (Move_cj.True_dependence _) -> ()
+  | Error f -> Alcotest.failf "unexpected failure: %a" Move_cj.pp_failure f
+  | Ok _ -> Alcotest.fail "cj reads r0 defined in n1: must fail")
+
+let test_move_cj_up_independent () =
+  (* same, but cj reads r9 which n1 does not define: succeeds and
+     duplicates n2's op onto both arms *)
+  let p = Program.create () in
+  let exit_ = p.Program.exit_id in
+  let cj = Operation.make ~id:50 (Operation.Cjump (Opcode.Lt, Operand.Reg (reg 9), imm 10)) in
+  let t_node =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:51 (Operation.Copy (reg 2, imm 7)) ]
+      ~ctree:(Ctree.leaf exit_)
+  in
+  let n2 =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:52 (Operation.Copy (reg 1, imm 1)) ]
+      ~ctree:(Ctree.Branch (cj, Ctree.Leaf t_node.Node.id, Ctree.Leaf exit_))
+  in
+  let n1 =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:53 (Operation.Copy (reg 0, imm 5)) ]
+      ~ctree:(Ctree.leaf n2.Node.id)
+  in
+  Program.redirect p ~from_:p.Program.entry ~old_:exit_ ~new_:n1.Node.id;
+  let init = State.init ~regs:[ (reg 9, Value.I 3) ] ~arrays:[] in
+  let before_state = State.copy init in
+  ignore (Vliw_sim.Exec.run p before_state);
+  let ctx = mk_ctx ~exit_live:[ reg 0; reg 1; reg 2 ] p in
+  (match Move_cj.move ctx ~from_:n2.Node.id ~to_:n1.Node.id ~cj_id:50 with
+  | Ok _ -> ()
+  | Error f -> Alcotest.failf "cj move failed: %a" Move_cj.pp_failure f);
+  check_wf p;
+  (* n1 now branches *)
+  Alcotest.(check int) "n1 has a cjump" 1 (Ctree.n_cjumps (Program.node p n1.Node.id).Node.ctree);
+  let after_state = State.copy init in
+  ignore (Vliw_sim.Exec.run p after_state);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "r%d agrees" (Reg.to_int r))
+        true
+        (State.reg_opt before_state r = State.reg_opt after_state r))
+    [ reg 0; reg 1; reg 2 ]
+
+let test_migrate_full_chain () =
+  (* three independent ops percolate into the entry in one migrate each *)
+  let p = indep_program () in
+  let ctx = mk_ctx ~exit_live:[ reg 2 ] p in
+  let entry = p.Program.entry in
+  let ops = Program.all_ops p in
+  List.iter
+    (fun (op : Operation.t) ->
+      ignore (Migrate.migrate ctx ~target:entry ~op_id:op.Operation.id ()))
+    (List.sort (fun (a : Operation.t) b -> compare a.Operation.src_pos b.Operation.src_pos) ops);
+  check_wf p;
+  (* the add depends on both copies, all three land in entry *)
+  Alcotest.(check int) "entry holds all" 3
+    (List.length (Program.node p entry).Node.ops);
+  Alcotest.(check int) "only entry and exit remain" 2 (Program.n_nodes p)
+
+let test_migrate_respects_dependence () =
+  (* chain of non-copy defs: only the first op reaches the entry; the
+     others stack behind it one node apart *)
+  let p =
+    Builder.straight
+      [
+        Operation.Binop (Opcode.Add, reg 0, Operand.Reg (reg 9), imm 1);
+        Operation.Binop (Opcode.Add, reg 1, Operand.Reg (reg 0), imm 1);
+        Operation.Binop (Opcode.Add, reg 2, Operand.Reg (reg 1), imm 1);
+      ]
+  in
+  let ctx = mk_ctx ~exit_live:[ reg 2 ] p in
+  let entry = p.Program.entry in
+  List.iter
+    (fun (op : Operation.t) ->
+      ignore (Migrate.migrate ctx ~target:entry ~op_id:op.Operation.id ()))
+    (List.sort
+       (fun (a : Operation.t) b -> compare a.Operation.src_pos b.Operation.src_pos)
+       (Program.all_ops p));
+  check_wf p;
+  (* entry: r0=1; next: r1; next: r2 *)
+  Alcotest.(check int) "nodes" 4 (Program.n_nodes p);
+  Alcotest.(check int) "entry has one op" 1 (List.length (Program.node p entry).Node.ops)
+
+let test_move_cj_distributes_guarded_ops () =
+  (* from_ holds ops guarded on each arm of its root cj; hoisting the
+     cj must send each to its own arm copy with the guard stripped *)
+  let p = Program.create () in
+  let exit_ = p.Program.exit_id in
+  let cj =
+    Operation.make ~id:70 (Operation.Cjump (Opcode.Lt, Operand.Reg (reg 9), imm 10))
+  in
+  let on_true =
+    Operation.make ~id:71 ~guard:[ (70, true) ] (Operation.Copy (reg 1, imm 1))
+  in
+  let on_false =
+    Operation.make ~id:72 ~guard:[ (70, false) ] (Operation.Copy (reg 2, imm 2))
+  in
+  let always = Operation.make ~id:73 (Operation.Copy (reg 3, imm 3)) in
+  let t_target =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:74 (Operation.Copy (reg 4, imm 4)) ]
+      ~ctree:(Ctree.leaf exit_)
+  in
+  let from_ =
+    Program.fresh_node p
+      ~ops:[ on_true; on_false; always ]
+      ~ctree:(Ctree.Branch (cj, Ctree.Leaf t_target.Node.id, Ctree.Leaf exit_))
+  in
+  let top =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:75 (Operation.Copy (reg 5, imm 5)) ]
+      ~ctree:(Ctree.leaf from_.Node.id)
+  in
+  Program.redirect p ~from_:p.Program.entry ~old_:exit_ ~new_:top.Node.id;
+  check_wf p;
+  let ctx = mk_ctx ~exit_live:[ reg 1; reg 2; reg 3; reg 4; reg 5 ] p in
+  (match Move_cj.move ctx ~from_:from_.Node.id ~to_:top.Node.id ~cj_id:70 with
+  | Ok r ->
+      let arm id expected_regs =
+        let n = Program.node p id in
+        let regs =
+          List.filter_map Operation.def n.Node.ops
+          |> List.map Reg.to_int |> List.sort compare
+        in
+        Alcotest.(check (list int)) "arm contents" expected_regs regs;
+        List.iter
+          (fun (o : Operation.t) ->
+            Alcotest.(check bool) "guard stripped" true (o.Operation.guard = []))
+          n.Node.ops
+      in
+      (* true arm: on_true + always; false arm: on_false + always *)
+      arm r.Move_cj.true_copy [ 1; 3 ];
+      arm r.Move_cj.false_copy [ 2; 3 ]
+  | Error f -> Alcotest.failf "cj move failed: %a" Move_cj.pp_failure f);
+  check_wf p;
+  (* semantics on both arms *)
+  let run r9 =
+    let st = State.init ~regs:[ (reg 9, Value.I r9) ] ~arrays:[] in
+    ignore (Vliw_sim.Exec.run p st);
+    (State.reg_opt st (reg 1), State.reg_opt st (reg 2), State.reg_opt st (reg 3))
+  in
+  (match run 0 with
+  | Some (Value.I 1), None, Some (Value.I 3) -> ()
+  | _ -> Alcotest.fail "true path commits on_true + always only");
+  match run 50 with
+  | None, Some (Value.I 2), Some (Value.I 3) -> ()
+  | _ -> Alcotest.fail "false path commits on_false + always only"
+
+let test_split_on_second_predecessor () =
+  (* from_ has two predecessors; moving an op up along one path must
+     leave a clone for the other *)
+  let p = Program.create () in
+  let exit_ = p.Program.exit_id in
+  let shared =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:80 (Operation.Copy (reg 1, imm 7)) ]
+      ~ctree:(Ctree.leaf exit_)
+  in
+  let left =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:81 (Operation.Copy (reg 2, imm 1)) ]
+      ~ctree:(Ctree.leaf shared.Node.id)
+  in
+  let right =
+    Program.fresh_node p
+      ~ops:[ Operation.make ~id:82 (Operation.Copy (reg 3, imm 2)) ]
+      ~ctree:(Ctree.leaf shared.Node.id)
+  in
+  let cj = Operation.make ~id:83 (Operation.Cjump (Opcode.Lt, Operand.Reg (reg 9), imm 5)) in
+  let top =
+    Program.fresh_node p ~ops:[]
+      ~ctree:(Ctree.Branch (cj, Ctree.Leaf left.Node.id, Ctree.Leaf right.Node.id))
+  in
+  Program.redirect p ~from_:p.Program.entry ~old_:exit_ ~new_:top.Node.id;
+  check_wf p;
+  let ctx = mk_ctx ~exit_live:[ reg 1; reg 2; reg 3 ] p in
+  (match Move_op.move ctx ~from_:shared.Node.id ~to_:left.Node.id ~op_id:80 with
+  | Ok r -> Alcotest.(check bool) "split happened" true (r.Move_op.split <> None)
+  | Error f -> Alcotest.failf "move failed: %a" Move_op.pp_failure f);
+  check_wf p;
+  (* both paths still set r1 = 7 *)
+  List.iter
+    (fun r9 ->
+      let st = State.init ~regs:[ (reg 9, Value.I r9) ] ~arrays:[] in
+      ignore (Vliw_sim.Exec.run p st);
+      match State.reg_opt st (reg 1) with
+      | Some (Value.I 7) -> ()
+      | _ -> Alcotest.failf "r1 lost on r9=%d" r9)
+    [ 0; 50 ]
+
+let test_redundant_dead_copy () =
+  let p =
+    Builder.straight
+      [
+        Operation.Copy (reg 0, imm 1);
+        Operation.Copy (reg 1, Operand.Reg (reg 0));
+        Operation.Binop (Opcode.Add, reg 2, Operand.Reg (reg 1), imm 1);
+      ]
+  in
+  (* forward r1 -> r0 then kill the copy *)
+  let fwd = Redundant.forward_copies p in
+  Alcotest.(check bool) "some forwarding" true (fwd >= 1);
+  let dead = Redundant.eliminate_dead p ~exit_live:(Reg.Set.singleton (reg 2)) in
+  Alcotest.(check bool) "copy removed" true (dead >= 1);
+  check_wf p
+
+let test_redundant_store_load_forward () =
+  let k = Operand.Reg (reg 0) in
+  let p =
+    Builder.straight
+      [
+        Operation.Copy (reg 0, imm 1);
+        Operation.Copy (reg 1, imm 42);
+        Operation.Store (addr k 0, Operand.Reg (reg 1));
+        Operation.Load (reg 2, addr k 0);
+        Operation.Binop (Opcode.Add, reg 3, Operand.Reg (reg 2), imm 1);
+      ]
+  in
+  let init = State.init ~regs:[] ~arrays:[ ("x", Array.make 8 (Value.I 0)) ] in
+  let reference =
+    Builder.straight
+      [
+        Operation.Copy (reg 0, imm 1);
+        Operation.Copy (reg 1, imm 42);
+        Operation.Store (addr k 0, Operand.Reg (reg 1));
+        Operation.Load (reg 2, addr k 0);
+        Operation.Binop (Opcode.Add, reg 3, Operand.Reg (reg 2), imm 1);
+      ]
+  in
+  let n = Redundant.forward_memory p in
+  Alcotest.(check int) "one load forwarded" 1 n;
+  check_wf p;
+  snapshot_oracle ~observable:[ reg 2; reg 3 ] ~init reference (fun () -> p)
+
+let test_redundant_load_load () =
+  let k = Operand.Reg (reg 0) in
+  let p =
+    Builder.straight
+      [
+        Operation.Copy (reg 0, imm 1);
+        Operation.Load (reg 1, addr k 0);
+        Operation.Load (reg 2, addr k 0);
+      ]
+  in
+  let n = Redundant.forward_memory p in
+  Alcotest.(check int) "second load forwarded" 1 n;
+  check_wf p
+
+let () =
+  Alcotest.run "vliw_percolation"
+    [
+      ( "move-op",
+        [
+          Alcotest.test_case "independent" `Quick test_move_independent_op;
+          Alcotest.test_case "true dependence" `Quick test_move_true_dependence_fails;
+          Alcotest.test_case "copy forwarding" `Quick test_move_forwards_through_copy;
+          Alcotest.test_case "read-in-to safe" `Quick test_read_in_to_is_safe;
+          Alcotest.test_case "move-past-read renames" `Quick test_move_past_read_renames;
+          Alcotest.test_case "guarded store hoist" `Quick
+            test_store_moves_above_branch_guarded;
+          Alcotest.test_case "resource limit" `Quick test_resource_limit_blocks;
+        ] );
+      ( "move-cj",
+        [
+          Alcotest.test_case "true dependence" `Quick test_move_cj_up;
+          Alcotest.test_case "independent" `Quick test_move_cj_up_independent;
+          Alcotest.test_case "guard distribution" `Quick
+            test_move_cj_distributes_guarded_ops;
+          Alcotest.test_case "splits second pred" `Quick
+            test_split_on_second_predecessor;
+        ] );
+      ( "migrate",
+        [
+          Alcotest.test_case "full chain" `Quick test_migrate_full_chain;
+          Alcotest.test_case "respects dependence" `Quick test_migrate_respects_dependence;
+        ] );
+      ( "redundant",
+        [
+          Alcotest.test_case "dead copy" `Quick test_redundant_dead_copy;
+          Alcotest.test_case "store-load forward" `Quick test_redundant_store_load_forward;
+          Alcotest.test_case "load-load" `Quick test_redundant_load_load;
+        ] );
+    ]
