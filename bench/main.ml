@@ -212,7 +212,7 @@ let fig11 () =
   let on_move ~op ~outcome =
     incr steps;
     if !steps <= 10 then begin
-      let dom = Grip.Scheduler.dominators p in
+      let dom = Vliw_percolation.Ctx.dominators ctx in
       let target =
         match Vliw_ir.Program.home p outcome.Vliw_percolation.Migrate.final_id with
         | Some h -> h

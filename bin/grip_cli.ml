@@ -2,20 +2,47 @@
 
    Subcommands:
      compile  FILE.mc          parse/typecheck/lower a minic kernel
-     schedule (FILE.mc | LLn)  pipeline a kernel and report
+     schedule (FILE.mc | LLn)  pipeline a kernel through the guarded
+                               pipeline (degradation ladder) and report
      simulate (FILE.mc | LLn)  execute sequential vs scheduled
      list                      list the built-in kernels             *)
 
 open Cmdliner
 module Machine = Vliw_machine.Machine
 module Pipeline = Grip.Pipeline
+module Grip_error = Grip_robust.Grip_error
+module Guard = Grip_robust.Guard
 
+(* Read a whole file, closing the channel on any failure and carrying
+   [Sys_error] as a structured Io error instead of an uncaught
+   exception. *)
 let read_file path =
-  let ic = open_in path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
-  s
+  match open_in_bin path with
+  | exception Sys_error m -> Error (Grip_error.make Grip_error.Io (Grip_error.Io_failure m))
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Ok s
+          | exception Sys_error m ->
+              Error (Grip_error.make Grip_error.Io (Grip_error.Io_failure m))
+          | exception End_of_file ->
+              Error
+                (Grip_error.make Grip_error.Io
+                   (Grip_error.Io_failure (path ^ ": truncated read"))))
+
+let die e =
+  Format.eprintf "grip: %a@." Grip_error.pp e;
+  exit 1
+
+let machine_of_fus fus =
+  if fus < 1 then
+    die
+      (Grip_error.make Grip_error.Io
+         (Grip_error.Message
+            (Printf.sprintf "--fus must be at least 1 (got %d)" fus)))
+  else Machine.homogeneous fus
 
 (* resolve a kernel argument: a Livermore name, a paper example, or a
    minic source file *)
@@ -24,20 +51,24 @@ let resolve name =
   | Some e -> Ok (e.Workloads.Livermore.kernel, e.Workloads.Livermore.data)
   | None -> (
       match name with
-      | "abc" ->
-          Ok (Workloads.Paper_examples.abc, Grip.Kernel.default_data)
+      | "abc" -> Ok (Workloads.Paper_examples.abc, Grip.Kernel.default_data)
       | "abcdefg" ->
           Ok (Workloads.Paper_examples.abcdefg, Grip.Kernel.default_data)
       | file when Sys.file_exists file -> (
-          match Minic.Compile.kernel_of_string (read_file file) with
-          | Ok out -> Ok (out.Minic.Compile.kernel, out.Minic.Compile.data)
-          | Error e -> Error (Format.asprintf "%a" Minic.Compile.pp_error e))
+          match read_file file with
+          | Error e -> Error e
+          | Ok src -> (
+              match Minic.Compile.kernel_of_string src with
+              | Ok out -> Ok (out.Minic.Compile.kernel, out.Minic.Compile.data)
+              | Error e -> Error e))
       | other ->
           Error
-            (Printf.sprintf
-               "%S is neither a built-in kernel (LL1..LL14, abc, abcdefg) nor \
-                a readable file"
-               other))
+            (Grip_error.make Grip_error.Io
+               (Grip_error.Message
+                  (Printf.sprintf
+                     "%S is neither a built-in kernel (LL1..LL14, abc, \
+                      abcdefg) nor a readable file"
+                     other))))
 
 let kernel_arg =
   let doc = "Kernel: LL1..LL14, abc, abcdefg, or a minic source file." in
@@ -67,17 +98,44 @@ let table_arg =
   let doc = "Print the iteration/instruction schedule table." in
   Arg.(value & flag & info [ "table"; "t" ] ~doc)
 
+let strictness_arg =
+  let doc =
+    "Guard strictness for the guarded pipeline: off (skip intermediate \
+     guards), warn (report violations and continue) or strict (abandon the \
+     rung).  The final oracle check always runs."
+  in
+  let level =
+    Arg.conv
+      ( (fun s ->
+          match Guard.strictness_of_string s with
+          | Some v -> Ok v
+          | None -> Error (`Msg (Printf.sprintf "invalid strictness %S" s))),
+        fun ppf s -> Format.pp_print_string ppf (Guard.strictness_name s) )
+  in
+  Arg.(value & opt level Guard.Strict & info [ "strictness" ] ~docv:"LEVEL" ~doc)
+
+let no_fallback_arg =
+  let doc =
+    "Fail with the first rung's error instead of falling down the \
+     degradation ladder."
+  in
+  Arg.(value & flag & info [ "no-fallback" ] ~doc)
+
 (* -- compile ------------------------------------------------------------- *)
 
 let compile_cmd =
   let file =
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minic source file")
+    Arg.(
+      required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"minic source file")
   in
   let run file =
-    match Minic.Compile.kernel_of_string (read_file file) with
-    | Error e ->
-        Format.eprintf "%a@." Minic.Compile.pp_error e;
-        exit 1
+    let result =
+      match read_file file with
+      | Error e -> Error e
+      | Ok src -> Minic.Compile.kernel_of_string src
+    in
+    match result with
+    | Error e -> die e
     | Ok out ->
         let k = out.Minic.Compile.kernel in
         Format.printf "kernel %s: %d pre ops, %d body ops, %d arrays@."
@@ -95,65 +153,105 @@ let compile_cmd =
 
 (* -- schedule ------------------------------------------------------------ *)
 
-let schedule_run kernel fus method_ horizon table =
+(* Legacy unguarded path, kept for the Unifiable baseline (not a ladder
+   rung). *)
+let schedule_unifiable kern data machine horizon table =
+  let o = Pipeline.run kern ~machine ~method_:Pipeline.Unifiable ?horizon in
+  if table then
+    Format.printf "%s@."
+      (Grip.Schedule_table.render
+         ~jump_pos:(List.length kern.Grip.Kernel.body)
+         o.Pipeline.program);
+  let m = Pipeline.measure ~data o in
+  Format.printf "%s on %a with %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
+    kern.Grip.Kernel.name Machine.pp machine
+    (Pipeline.method_name Pipeline.Unifiable)
+    m.Grip.Speedup.speedup m.Grip.Speedup.seq_per_iter
+    m.Grip.Speedup.sched_per_iter;
+  (match o.Pipeline.pattern with
+  | Some p ->
+      Format.printf "converged: %d row(s) per %d iteration(s) from row %d@."
+        p.Grip.Convergence.period p.Grip.Convergence.delta
+        (p.Grip.Convergence.start + 1)
+  | None -> Format.printf "no repeating pattern@.");
+  (match Pipeline.check ~data o with
+  | Ok _ -> Format.printf "oracle: OK@."
+  | Error ms ->
+      Format.eprintf "grip: oracle found %d mismatches@." (List.length ms);
+      exit 1);
+  Format.printf "scheduling time: %.3fs@." o.Pipeline.wall_seconds
+
+let schedule_run kernel fus method_ horizon table strictness no_fallback =
   match resolve kernel with
-  | Error msg ->
-      Format.eprintf "%s@." msg;
-      exit 1
-  | Ok (kern, data) ->
-      let machine = Machine.homogeneous fus in
-      let o = Pipeline.run kern ~machine ~method_ ?horizon in
-      if table then
-        Format.printf "%s@."
-          (Grip.Schedule_table.render
-             ~jump_pos:(List.length kern.Grip.Kernel.body)
-             o.Pipeline.program);
-      let m = Pipeline.measure ~data o in
-      Format.printf "%s on %a with %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
-        kern.Grip.Kernel.name Machine.pp machine
-        (Pipeline.method_name method_) m.Grip.Speedup.speedup
-        m.Grip.Speedup.seq_per_iter m.Grip.Speedup.sched_per_iter;
-      (match o.Pipeline.pattern with
-      | Some p ->
-          Format.printf "converged: %d row(s) per %d iteration(s) from row %d@."
-            p.Grip.Convergence.period p.Grip.Convergence.delta
-            (p.Grip.Convergence.start + 1)
-      | None -> Format.printf "no repeating pattern@.");
-      (match Pipeline.check ~data o with
-      | Ok _ -> Format.printf "oracle: OK@."
-      | Error ms ->
-          Format.printf "oracle: %d mismatches@." (List.length ms);
-          exit 1);
-      Format.printf "scheduling time: %.3fs@." o.Pipeline.wall_seconds
+  | Error e -> die e
+  | Ok (kern, data) -> (
+      let machine = machine_of_fus fus in
+      match method_ with
+      | Pipeline.Unifiable -> schedule_unifiable kern data machine horizon table
+      | _ -> (
+          match
+            Pipeline.run_robust ?horizon ~strictness
+              ~fallback:(not no_fallback) ~data
+              ~start:(Pipeline.rung_of_method method_) kern ~machine
+          with
+          | Error e -> die e
+          | Ok r ->
+              if table then
+                Format.printf "%s@."
+                  (Grip.Schedule_table.render
+                     ~jump_pos:(List.length kern.Grip.Kernel.body)
+                     r.Pipeline.program);
+              Pipeline.pp_descents Format.std_formatter r.Pipeline.descents;
+              let m = Pipeline.measure_robust ~data r in
+              Format.printf
+                "%s on %a at rung %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
+                kern.Grip.Kernel.name Machine.pp machine
+                (Pipeline.rung_name r.Pipeline.rung)
+                m.Grip.Speedup.speedup m.Grip.Speedup.seq_per_iter
+                m.Grip.Speedup.sched_per_iter;
+              (match r.Pipeline.pattern with
+              | Some p ->
+                  Format.printf
+                    "converged: %d row(s) per %d iteration(s) from row %d@."
+                    p.Grip.Convergence.period p.Grip.Convergence.delta
+                    (p.Grip.Convergence.start + 1)
+              | None ->
+                  Format.printf "no pipeline pattern (rolled-loop rung)@.");
+              Format.printf "oracle: OK@.";
+              Format.printf "scheduling time: %.3fs@." r.Pipeline.wall_seconds))
 
 let schedule_cmd =
   Cmd.v
-    (Cmd.info "schedule" ~doc:"Pipeline a kernel and report speedup")
+    (Cmd.info "schedule"
+       ~doc:
+         "Pipeline a kernel through the guarded pipeline and report speedup")
     Term.(
       const schedule_run $ kernel_arg $ fus_arg $ method_arg $ horizon_arg
-      $ table_arg)
+      $ table_arg $ strictness_arg $ no_fallback_arg)
 
 (* -- simulate ------------------------------------------------------------ *)
 
 let simulate_run kernel fus n =
   match resolve kernel with
-  | Error msg ->
-      Format.eprintf "%s@." msg;
-      exit 1
-  | Ok (kern, data) ->
-      let machine = Machine.homogeneous fus in
+  | Error e -> die e
+  | Ok (kern, data) -> (
+      let machine = machine_of_fus fus in
       let horizon = max 18 (n + 2) in
-      let o = Pipeline.run kern ~machine ~method_:Pipeline.Grip ~horizon in
-      let rolled = (Grip.Kernel.rolled kern).Vliw_ir.Builder.program in
-      let cycles prog =
-        let st = Grip.Kernel.initial_state ~n kern ~data in
-        (Vliw_sim.Exec.run prog st).Vliw_sim.Exec.cycles
-      in
-      let c_seq = cycles rolled and c_sched = cycles o.Pipeline.program in
-      Format.printf
-        "%s, %d iterations: sequential %d cycles, scheduled %d cycles (%.2fx)@."
-        kern.Grip.Kernel.name n c_seq c_sched
-        (float_of_int c_seq /. float_of_int c_sched)
+      match Pipeline.run_robust ~horizon ~data kern ~machine with
+      | Error e -> die e
+      | Ok r ->
+          let rolled = (Grip.Kernel.rolled kern).Vliw_ir.Builder.program in
+          let cycles prog =
+            let st = Grip.Kernel.initial_state ~n kern ~data in
+            (Vliw_sim.Exec.run prog st).Vliw_sim.Exec.cycles
+          in
+          let c_seq = cycles rolled and c_sched = cycles r.Pipeline.program in
+          Format.printf
+            "%s, %d iterations: sequential %d cycles, %s %d cycles (%.2fx)@."
+            kern.Grip.Kernel.name n c_seq
+            (Pipeline.rung_name r.Pipeline.rung)
+            c_sched
+            (float_of_int c_seq /. float_of_int c_sched))
 
 let simulate_cmd =
   let n_arg =

@@ -11,6 +11,8 @@ module Machine = Vliw_machine.Machine
 module Ctx = Vliw_percolation.Ctx
 module Redundant = Vliw_percolation.Redundant
 module Ddg = Vliw_analysis.Ddg
+module Grip_error = Grip_robust.Grip_error
+module Guard = Grip_robust.Guard
 
 type method_ =
   | Grip  (** resource-constrained GRiP with gap prevention *)
@@ -35,6 +37,9 @@ type outcome = {
   static_cpi : float option;  (** cycles/iteration from the pattern *)
   redundant_removed : int * int * int;  (** loads, copies, dead ops *)
   wall_seconds : float;  (** scheduling time (the efficiency claim) *)
+  fuel_exhausted : bool;
+      (** the migration budget truncated scheduling (see
+          {!Scheduler.stats.fuel_exhausted}) *)
 }
 
 (** [ddg_of k] — dependence graph of the body plus its loop-control
@@ -53,7 +58,8 @@ let default_rank (k : Kernel.t) = Rank.section_3_4 ~ddg:(ddg_of k)
     width so wide machines see enough iterations to converge;
     [speculation] tunes the section 1 policy (GRiP methods only). *)
 let run ?rank ?horizon ?(redundancy = true)
-    ?(speculation = Scheduler.Always) (k : Kernel.t) ~machine ~method_ =
+    ?(speculation = Scheduler.Always) ?max_migrations (k : Kernel.t) ~machine
+    ~method_ =
   let rank = match rank with Some r -> r | None -> default_rank k in
   let horizon =
     match horizon with
@@ -67,27 +73,34 @@ let run ?rank ?horizon ?(redundancy = true)
     if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0)
   in
   let t0 = Unix.gettimeofday () in
-  (match method_ with
-  | Grip | Grip_no_gap ->
-      let ctx = Ctx.make p ~machine ~exit_live in
-      let config =
-        {
-          (Scheduler.default_config ~rank) with
-          Scheduler.gap_prevention = (method_ = Grip);
-          Scheduler.speculation = speculation;
-        }
-      in
-      ignore (Scheduler.run config ctx)
-  | Post ->
-      let ctx_unlimited = Ctx.make p ~machine:Machine.unlimited ~exit_live in
-      let ctx_real = Ctx.make p ~machine ~exit_live in
-      ignore (Post.run ctx_unlimited ctx_real ~rank)
-  | Unifiable ->
-      let ctx = Ctx.make p ~machine ~exit_live in
-      let config =
-        Unifiable.default_config ~rank ~ddg:(ddg_of k) ~horizon
-      in
-      ignore (Unifiable.run config ctx));
+  let fuel_exhausted =
+    match method_ with
+    | Grip | Grip_no_gap ->
+        let ctx = Ctx.make p ~machine ~exit_live in
+        let base = Scheduler.default_config ~rank in
+        let config =
+          {
+            base with
+            Scheduler.gap_prevention = (method_ = Grip);
+            Scheduler.speculation = speculation;
+            Scheduler.max_migrations =
+              Option.value max_migrations ~default:base.Scheduler.max_migrations;
+          }
+        in
+        (Scheduler.run config ctx).Scheduler.fuel_exhausted
+    | Post ->
+        let ctx_unlimited = Ctx.make p ~machine:Machine.unlimited ~exit_live in
+        let ctx_real = Ctx.make p ~machine ~exit_live in
+        (Post.run ctx_unlimited ctx_real ~rank).Post.phase1
+          .Scheduler.fuel_exhausted
+    | Unifiable ->
+        let ctx = Ctx.make p ~machine ~exit_live in
+        let config =
+          Unifiable.default_config ~rank ~ddg:(ddg_of k) ~horizon
+        in
+        ignore (Unifiable.run config ctx);
+        false
+  in
   let wall_seconds = Unix.gettimeofday () -. t0 in
   let rows = Schedule_table.rows p in
   let pattern =
@@ -106,6 +119,7 @@ let run ?rank ?horizon ?(redundancy = true)
     static_cpi = Option.map Convergence.cycles_per_iteration pattern;
     redundant_removed;
     wall_seconds;
+    fuel_exhausted;
   }
 
 (** [measure outcome] — dynamic speedup from two trip counts deep in
@@ -126,3 +140,284 @@ let measure ?data (o : outcome) =
     against the rolled loop. *)
 let check ?data (o : outcome) =
   Speedup.verify ?data o.kernel ~scheduled:o.program ~n:(o.horizon - 2)
+
+(* -- guarded pipeline with graceful degradation -------------------------- *)
+
+(** One rung of the degradation ladder, best first: full GRiP, GRiP
+    without the Gapless-move test, unconstrained pipelining with
+    post-pass constraints, a list-scheduled rolled loop, and finally
+    the sequential rolled loop — the trusted reference itself, which
+    cannot fail. *)
+type rung = R_grip | R_grip_no_gap | R_post | R_list | R_sequential
+
+let rung_name = function
+  | R_grip -> "GRiP"
+  | R_grip_no_gap -> "GRiP(no-gap)"
+  | R_post -> "POST"
+  | R_list -> "list-rolled"
+  | R_sequential -> "sequential"
+
+let ladder = [ R_grip; R_grip_no_gap; R_post; R_list; R_sequential ]
+
+(** Ladder entry point corresponding to a pipeline method (the
+    Unifiable baseline is not a rung; it maps to the top). *)
+let rung_of_method = function
+  | Grip -> R_grip
+  | Grip_no_gap -> R_grip_no_gap
+  | Post -> R_post
+  | Unifiable -> R_grip
+
+type robust = {
+  program : Program.t;  (** the schedule of the winning rung *)
+  kernel : Kernel.t;
+  machine : Machine.t;
+  horizon : int;
+  strictness : Guard.strictness;
+  rung : rung;  (** the rung that produced [program] *)
+  descents : (rung * Grip_error.t) list;
+      (** abandoned rungs with the error that abandoned each, top of
+          the ladder first *)
+  scheduled : outcome option;
+      (** the full pipeline outcome when a pipelining rung won *)
+  pattern : Convergence.pattern option;
+  wall_seconds : float;
+}
+
+let ( let* ) = Result.bind
+
+(* Unconditional semantic check against the rolled reference: a rung
+   may only win if the oracle agrees, whatever the strictness. *)
+let oracle_final ~kernel ~mstr ~data ~n k p =
+  match Speedup.verify ~data k ~scheduled:p ~n with
+  | Ok _ -> Ok ()
+  | Error ms ->
+      let first =
+        match ms with
+        | m :: _ -> Format.asprintf "%a" Vliw_sim.Oracle.pp_mismatch m
+        | [] -> "unknown"
+      in
+      Error
+        (Grip_error.make ~kernel ~machine:mstr Grip_error.Validation
+           (Grip_error.Oracle_mismatch { count = List.length ms; first }))
+
+(* One pipelining rung (GRiP / GRiP-no-gap / POST), guarded after every
+   stage.  Intermediate structural / resource / oracle spot-checks obey
+   [strictness]; fuel, deadline, convergence and the final oracle check
+   abandon the rung unconditionally. *)
+let attempt_pipelining ~rank ~horizon ~redundancy ~speculation ~strictness
+    ~max_migrations ~deadline ~data (k : Kernel.t) ~machine ~method_ =
+  let kernel = k.Kernel.name in
+  let mstr = Format.asprintf "%a" Machine.pp machine in
+  let t0 = Unix.gettimeofday () in
+  let* u = Grip_error.guard (fun () -> Unwind.build k ~horizon) in
+  let p = u.Unwind.program in
+  let exit_live = Kernel.exit_live k in
+  let rolled = (Kernel.rolled k).Builder.program in
+  let spot_n = min 4 (horizon - 2) in
+  let* () =
+    Guard.all strictness
+      [ (fun () -> Guard.structural ~kernel ~machine:mstr Grip_error.Unwind p) ]
+  in
+  let redundant_removed =
+    if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0)
+  in
+  let* () =
+    Guard.all strictness
+      [
+        (fun () ->
+          Guard.structural ~kernel ~machine:mstr Grip_error.Redundancy p);
+        (fun () ->
+          Guard.oracle ~kernel ~machine:mstr Grip_error.Redundancy
+            ~reference:rolled ~candidate:p
+            ~init:(Kernel.initial_state ~n:spot_n k ~data)
+            ~observable:k.Kernel.observable);
+      ]
+  in
+  let budget =
+    Option.value max_migrations
+      ~default:(Scheduler.default_config ~rank).Scheduler.max_migrations
+  in
+  let exhausted, migrations =
+    match method_ with
+    | Grip | Grip_no_gap ->
+        let ctx = Ctx.make p ~machine ~exit_live in
+        let base = Scheduler.default_config ~rank in
+        let config =
+          {
+            base with
+            Scheduler.gap_prevention = (method_ = Grip);
+            Scheduler.speculation = speculation;
+            Scheduler.max_migrations = budget;
+          }
+        in
+        let st = Scheduler.run config ctx in
+        (st.Scheduler.fuel_exhausted, st.Scheduler.migrations)
+    | Post ->
+        let ctx_unlimited = Ctx.make p ~machine:Machine.unlimited ~exit_live in
+        let ctx_real = Ctx.make p ~machine ~exit_live in
+        let st = (Post.run ctx_unlimited ctx_real ~rank).Post.phase1 in
+        (st.Scheduler.fuel_exhausted, st.Scheduler.migrations)
+    | Unifiable -> (false, 0)
+  in
+  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let* () =
+    if exhausted then
+      Error
+        (Grip_error.make ~kernel ~machine:mstr Grip_error.Scheduling
+           (Grip_error.Fuel_exhausted { migrations; budget }))
+    else Ok ()
+  in
+  let* () =
+    match deadline with
+    | Some b when wall_seconds > b ->
+        Error
+          (Grip_error.make ~kernel ~machine:mstr Grip_error.Scheduling
+             (Grip_error.Deadline_exceeded { elapsed = wall_seconds; budget = b }))
+    | Some _ | None -> Ok ()
+  in
+  let* () =
+    Guard.all strictness
+      [
+        (fun () ->
+          Guard.structural ~kernel ~machine:mstr Grip_error.Validation p);
+        (fun () -> Guard.resources ~kernel Grip_error.Validation ~machine p);
+      ]
+  in
+  let rows = Schedule_table.rows p in
+  let pattern =
+    Convergence.detect ~body_positions:(List.length k.Kernel.body + 1) rows
+  in
+  let* () =
+    match pattern with
+    | Some _ -> Ok ()
+    | None ->
+        Error
+          (Grip_error.make ~kernel ~machine:mstr Grip_error.Convergence
+             (Grip_error.Non_convergent { horizon }))
+  in
+  let* () = oracle_final ~kernel ~mstr ~data ~n:(horizon - 2) k p in
+  Ok
+    {
+      program = p;
+      kernel = k;
+      machine;
+      horizon;
+      method_;
+      pattern;
+      gaps = Convergence.gaps rows;
+      static_cpi = Option.map Convergence.cycles_per_iteration pattern;
+      redundant_removed;
+      wall_seconds;
+      fuel_exhausted = false;
+    }
+
+(* The list-scheduled rolled loop: no unwinding, no percolation; still
+   guarded and still oracle-checked. *)
+let attempt_list ~strictness ~horizon ~data (k : Kernel.t) ~machine =
+  let kernel = k.Kernel.name in
+  let mstr = Format.asprintf "%a" Machine.pp machine in
+  let* p =
+    match List_scheduler.rolled_program k ~machine with
+    | p -> Ok p
+    | exception Grip_error.Error e -> Error e
+    | exception e ->
+        Error
+          (Grip_error.make ~kernel ~machine:mstr Grip_error.Scheduling
+             (Grip_error.Message (Printexc.to_string e)))
+  in
+  let* () =
+    Guard.all strictness
+      [
+        (fun () ->
+          Guard.structural ~kernel ~machine:mstr Grip_error.Validation p);
+        (fun () -> Guard.resources ~kernel Grip_error.Validation ~machine p);
+      ]
+  in
+  let* () = oracle_final ~kernel ~mstr ~data ~n:(horizon - 2) k p in
+  Ok p
+
+(** [run_robust k ~machine] — the guarded pipeline.  Starts at [start]
+    (default: the top rung, full GRiP) and falls one rung down the
+    ladder whenever the current rung is abandoned: by an intermediate
+    guard under [Strict] strictness, or — regardless of strictness — by
+    fuel/deadline exhaustion, failure to converge, or a final oracle
+    mismatch.  With [fallback] (default), the result is always [Ok]:
+    the bottom rung is the sequential reference itself.  With
+    [~fallback:false] the first abandonment is returned as [Error]. *)
+let run_robust ?rank ?horizon ?(redundancy = true)
+    ?(speculation = Scheduler.Always) ?(strictness = Guard.Strict)
+    ?(fallback = true) ?max_migrations ?deadline
+    ?(data = Kernel.default_data) ?(start = R_grip) (k : Kernel.t) ~machine =
+  let rank = match rank with Some r -> r | None -> default_rank k in
+  let horizon =
+    match horizon with
+    | Some h -> h
+    | None -> max 18 ((2 * Machine.width machine) + 6)
+  in
+  let t0 = Unix.gettimeofday () in
+  let rec from = function
+    | r :: rest when r <> start -> from rest
+    | rungs -> rungs
+  in
+  let rungs = match from ladder with [] -> ladder | l -> l in
+  let finish rung descents (program, scheduled, pattern) =
+    {
+      program;
+      kernel = k;
+      machine;
+      horizon;
+      strictness;
+      rung;
+      descents = List.rev descents;
+      scheduled;
+      pattern;
+      wall_seconds = Unix.gettimeofday () -. t0;
+    }
+  in
+  let attempt rung =
+    match rung with
+    | R_grip | R_grip_no_gap | R_post ->
+        let method_ =
+          match rung with
+          | R_grip -> Grip
+          | R_grip_no_gap -> Grip_no_gap
+          | _ -> Post
+        in
+        Result.map
+          (fun (o : outcome) -> (o.program, Some o, o.pattern))
+          (attempt_pipelining ~rank ~horizon ~redundancy ~speculation
+             ~strictness ~max_migrations ~deadline ~data k ~machine ~method_)
+    | R_list ->
+        Result.map
+          (fun p -> (p, None, None))
+          (attempt_list ~strictness ~horizon ~data k ~machine)
+    | R_sequential -> Ok ((Kernel.rolled k).Builder.program, None, None)
+  in
+  let rec go descents = function
+    | [] -> assert false (* the sequential rung never fails *)
+    | rung :: rest -> (
+        match attempt rung with
+        | Ok win -> Ok (finish rung descents win)
+        | Error e ->
+            if fallback && rest <> [] then go ((rung, e) :: descents) rest
+            else Error e)
+  in
+  go [] rungs
+
+(** [measure_robust r] — dynamic speedup of the winning rung over the
+    sequential reference.  Pipelined winners use the steady-state
+    difference quotient of {!measure}; rolled-loop rungs are charged
+    their full execution. *)
+let measure_robust ?data (r : robust) =
+  match r.scheduled with
+  | Some o -> measure ?data o
+  | None ->
+      let n2 = r.horizon - 2 in
+      let n1 = if n2 > 13 then n2 - 12 else max 1 (n2 / 2) in
+      Speedup.measure ?data ~steady:false r.kernel ~scheduled:r.program ~n1 ~n2
+
+let pp_descents ppf ds =
+  List.iter
+    (fun (rung, e) ->
+      Format.fprintf ppf "%s abandoned: %a@." (rung_name rung) Grip_error.pp e)
+    ds

@@ -35,6 +35,10 @@ type stats = {
       (** hops blocked by a full node that was not the target — the
           resource barriers of section 3.2 (measured for the ablation
           bench) *)
+  mutable fuel_exhausted : bool;
+      (** the [max_migrations] budget ran out and migration was
+          truncated: the schedule is legal but possibly under-compacted,
+          and drivers must not present it as a converged pipeline *)
 }
 
 let fresh_stats () =
@@ -45,6 +49,7 @@ let fresh_stats () =
     reached = 0;
     suspensions = 0;
     resource_barrier_events = 0;
+    fuel_exhausted = false;
   }
 
 (** Speculative-scheduling policy (section 1): a hop is speculative
@@ -96,19 +101,11 @@ let speculation_allows (config : config) (ctx : Ctx.t) ~from_ ~to_
           || float_of_int (Machine.slot_demand m to_node)
              < threshold *. float_of_int (Machine.width m))
 
-(* Dominators cached by program version: scheduling leaf nodes makes no
-   moves, so consecutive schedule_node calls share the computation. *)
-let dom_cache :
-    (Program.t * int * Vliw_analysis.Dom.t) option ref =
-  ref None
-
-let dominators (p : Program.t) =
-  match !dom_cache with
-  | Some (p', v, dom) when p' == p && v = Program.version p -> dom
-  | _ ->
-      let dom = Vliw_analysis.Dom.compute p in
-      dom_cache := Some (p, Program.version p, dom);
-      dom
+(* Dominators cached by program version on the context (scheduling leaf
+   nodes makes no moves, so consecutive schedule_node calls share the
+   computation); per-context so nested or interleaved runs over
+   different programs cannot evict each other. *)
+let dominators (ctx : Ctx.t) = Ctx.dominators ctx
 
 (* The Moveable-ops set of [n]: every operation on the subgraph
    dominated by [n], excluding those already in [n].  (Initialisation
@@ -126,7 +123,7 @@ let moveable_ops (p : Program.t) dom n =
 (** [schedule_node ?on_move config ctx stats n] fills node [n].  *)
 let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
   let p = ctx.Ctx.program in
-  let dom = dominators p in
+  let dom = dominators ctx in
   let initial = moveable_ops p dom n in
   (* ranked queue of op ids; metadata re-fetched from the program *)
   let suspended : (int, unit) Hashtbl.t = Hashtbl.create 8 in
@@ -181,7 +178,10 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
     match Rank.sort config.rank candidates with
     | [] -> continue_ := false
     | best :: _ ->
-        if stats.migrations >= config.max_migrations then continue_ := false
+        if stats.migrations >= config.max_migrations then begin
+          stats.fuel_exhausted <- true;
+          continue_ := false
+        end
         else begin
           Hashtbl.replace attempted best.Operation.id ();
           stats.migrations <- stats.migrations + 1;
@@ -206,7 +206,7 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
           stats.hops <- stats.hops + r.Migrate.moved;
           if r.Migrate.reached_target then stats.reached <- stats.reached + 1;
           (match r.Migrate.last_failure with
-          | Some "no free resources in to-node" ->
+          | Some (Migrate.Op Vliw_percolation.Move_op.No_room) ->
               (* blocked by a full node short of the target: a resource
                  barrier (section 3.2) *)
               stats.resource_barrier_events <- stats.resource_barrier_events + 1
@@ -249,6 +249,7 @@ let run ?on_move (config : config) (ctx : Ctx.t) =
 
 let pp_stats ppf s =
   Format.fprintf ppf
-    "nodes=%d migrations=%d hops=%d reached=%d suspensions=%d barriers=%d"
+    "nodes=%d migrations=%d hops=%d reached=%d suspensions=%d barriers=%d%s"
     s.nodes_scheduled s.migrations s.hops s.reached s.suspensions
     s.resource_barrier_events
+    (if s.fuel_exhausted then " (fuel exhausted)" else "")

@@ -61,7 +61,10 @@ let body_locals (k : Kernel.t) =
 (** [build k ~horizon] unwinds [k] into an acyclic program of
     [horizon] iteration copies. *)
 let build (k : Kernel.t) ~horizon =
-  if horizon < 2 then invalid_arg "Unwind.build: horizon < 2";
+  if horizon < 2 then
+    Grip_robust.Grip_error.(
+      raise_ ~kernel:k.Kernel.name Unwind
+        (Message (Printf.sprintf "horizon %d < 2" horizon)));
   let p = Program.create () in
   (* Reserve every register the kernel mentions before drawing fresh
      ones: iteration copies are created before any operation is

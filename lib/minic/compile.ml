@@ -12,9 +12,18 @@ type output = {
   data : string -> int -> Vliw_ir.Value.t;
 }
 
-type error = { stage : string; message : string }
+(** Front-end failures are carried as structured pipeline errors
+    ({!Grip_robust.Grip_error.t} with a [Frontend] stage naming the
+    phase: "lexical", "syntax" or "type"), so drivers handle them with
+    the same machinery as every scheduling failure. *)
+type error = Grip_robust.Grip_error.t
 
-let pp_error ppf e = Format.fprintf ppf "%s error: %s" e.stage e.message
+let pp_error = Grip_robust.Grip_error.pp
+
+let frontend phase message =
+  Grip_robust.Grip_error.make
+    (Grip_robust.Grip_error.Frontend phase)
+    (Grip_robust.Grip_error.Message message)
 
 (** [kernel_of_string ?optimize src] — compile [src]; [optimize]
     (default true) runs the scalar pipeline of {!Opt}. *)
@@ -29,13 +38,13 @@ let kernel_of_string ?(optimize = true) src =
     { kernel; ast; env; opt_stats; data = Lower.data env }
   with
   | out -> Ok out
-  | exception Lexer.Error m -> Error { stage = "lexical"; message = m }
-  | exception Parser.Error m -> Error { stage = "syntax"; message = m }
-  | exception Typecheck.Error m -> Error { stage = "type"; message = m }
+  | exception Lexer.Error m -> Error (frontend "lexical" m)
+  | exception Parser.Error m -> Error (frontend "syntax" m)
+  | exception Typecheck.Error m -> Error (frontend "type" m)
 
 (** [kernel_of_string_exn src] — as {!kernel_of_string}, raising
-    [Failure] with the diagnostic on error. *)
+    {!Grip_robust.Grip_error.Error} on failure. *)
 let kernel_of_string_exn ?optimize src =
   match kernel_of_string ?optimize src with
   | Ok out -> out
-  | Error e -> failwith (Format.asprintf "%a" pp_error e)
+  | Error e -> raise (Grip_robust.Grip_error.Error e)

@@ -9,6 +9,10 @@ type t = {
   machine : Vliw_machine.Machine.t;
   liveness : Vliw_analysis.Liveness.t;
   rename : bool;  (** repair write-live / move-past-read by renaming *)
+  mutable dom_cache : (int * Vliw_analysis.Dom.t) option;
+      (** dominator tree keyed by [Program.version]; per-context rather
+          than global so concurrent or nested scheduler runs cannot
+          observe each other's cache *)
 }
 
 (** [make ?rename p ~machine ~exit_live] builds a context with a fresh
@@ -19,6 +23,19 @@ let make ?(rename = true) program ~machine ~exit_live =
     machine;
     liveness = Vliw_analysis.Liveness.make program ~exit_live;
     rename;
+    dom_cache = None;
   }
+
+(** [dominators t] — the dominator tree of the current program version,
+    recomputed only when the program has changed since the last call on
+    this context. *)
+let dominators t =
+  let v = Program.version t.program in
+  match t.dom_cache with
+  | Some (v', dom) when v' = v -> dom
+  | _ ->
+      let dom = Vliw_analysis.Dom.compute t.program in
+      t.dom_cache <- Some (v, dom);
+      dom
 
 let live_in t id = Vliw_analysis.Liveness.live_in t.liveness id

@@ -30,11 +30,27 @@ let no_hooks =
     early_stop = (fun ~moved:_ -> false);
   }
 
+(** Why the last attempted hop failed — a proper variant rather than a
+    rendered message, so drivers (resource-barrier accounting in the
+    scheduler, the robustness guards) can match on the cause without
+    depending on diagnostic text. *)
+type failure =
+  | Vanished  (** the operation disappeared mid-walk (clone renamed it) *)
+  | Suspended  (** vetoed by the gap-prevention hook *)
+  | Op of Move_op.failure
+  | Cj of Move_cj.failure
+
+let pp_failure ppf = function
+  | Vanished -> Format.pp_print_string ppf "operation vanished"
+  | Suspended -> Format.pp_print_string ppf "gap prevention"
+  | Op f -> Move_op.pp_failure ppf f
+  | Cj f -> Move_cj.pp_failure ppf f
+
 type outcome = {
   moved : int;  (** number of successful one-node hops *)
   reached_target : bool;
   final_id : int;  (** operation id after the walk (clones may rename it) *)
-  last_failure : string option;
+  last_failure : failure option;
 }
 
 (* Attempt one hop of [op] from [s] into [n]; returns the (possibly
@@ -43,20 +59,20 @@ let hop (ctx : Ctx.t) hooks ~from_:s ~to_:n ~op_id =
   let p = ctx.Ctx.program in
   let from_node = Program.node p s in
   match Node.find_any from_node op_id with
-  | None -> Error "operation vanished"
+  | None -> Error Vanished
   | Some op ->
       if not (hooks.allow_hop ~from_:s ~to_:n ~op) then begin
         hooks.on_suspend op;
-        Error "gap prevention"
+        Error Suspended
       end
       else if Operation.is_cjump op then
         match Move_cj.move ctx ~from_:s ~to_:n ~cj_id:op_id with
         | Ok r -> Ok r.Move_cj.cj.Operation.id
-        | Error f -> Error (Format.asprintf "%a" Move_cj.pp_failure f)
+        | Error f -> Error (Cj f)
       else
         match Move_op.move ctx ~from_:s ~to_:n ~op_id with
         | Ok r -> Ok r.Move_op.op.Operation.id
-        | Error f -> Error (Format.asprintf "%a" Move_op.pp_failure f)
+        | Error f -> Error (Op f)
 
 (** [migrate ctx ?hooks ~target ~op_id ()] — see module comment.
     Returns how far the operation got. *)

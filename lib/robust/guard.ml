@@ -1,0 +1,97 @@
+(** Per-stage guards for the scheduling pipeline.
+
+    A guard is a predicate over the program being transformed —
+    structural well-formedness, resource fit, or semantic equivalence
+    against a reference — evaluated after a pipeline stage under a
+    configurable {!strictness}:
+
+    - [Off]: the guard is not evaluated at all;
+    - [Warn]: the guard runs; a violation is reported on stderr and the
+      pipeline continues;
+    - [Strict]: a violation is returned as a {!Grip_error.t} and the
+      caller abandons the stage (typically falling one rung down the
+      degradation ladder of [Grip.Pipeline.run_robust]). *)
+
+open Vliw_ir
+module Machine = Vliw_machine.Machine
+module Oracle = Vliw_sim.Oracle
+
+type strictness = Off | Warn | Strict
+
+let strictness_name = function Off -> "off" | Warn -> "warn" | Strict -> "strict"
+
+let strictness_of_string = function
+  | "off" -> Some Off
+  | "warn" -> Some Warn
+  | "strict" -> Some Strict
+  | _ -> None
+
+(** [structural ?kernel ?machine stage p] — [Wellformed.check] as a
+    guard. *)
+let structural ?kernel ?machine stage (p : Program.t) =
+  match Wellformed.check p with
+  | [] -> None
+  | violations ->
+      Some (Grip_error.make ?kernel ?machine stage (Grip_error.Malformed violations))
+
+(** [resources ?kernel stage ~machine p] — every reachable instruction
+    fits the issue width. *)
+let resources ?kernel stage ~machine (p : Program.t) =
+  if Machine.is_unlimited machine then None
+  else
+    let offender =
+      List.find_map
+        (fun id ->
+          if Program.is_exit p id then None
+          else
+            let n = Program.node p id in
+            if Machine.fits machine n then None
+            else Some (id, Machine.slot_demand machine n))
+        (Program.rpo p)
+    in
+    match offender with
+    | None -> None
+    | Some (node, demand) ->
+        Some
+          (Grip_error.make ?kernel
+             ~machine:(Format.asprintf "%a" Machine.pp machine)
+             stage
+             (Grip_error.Resource_overflow
+                { node; demand; width = Machine.width machine }))
+
+(** [oracle ?kernel ?machine stage ~reference ~candidate ~init
+    ~observable] — semantic spot-check of [candidate] against
+    [reference] from [init]. *)
+let oracle ?kernel ?machine stage ~reference ~candidate ~init ~observable =
+  match Oracle.equivalent ~observable ~init reference candidate with
+  | Ok _ -> None
+  | Error mismatches ->
+      let first =
+        match mismatches with
+        | m :: _ -> Format.asprintf "%a" Oracle.pp_mismatch m
+        | [] -> "unknown"
+      in
+      Some
+        (Grip_error.make ?kernel ?machine stage
+           (Grip_error.Oracle_mismatch
+              { count = List.length mismatches; first }))
+
+(** [apply strictness check] — evaluate the (lazy) guard [check] under
+    [strictness]; see the module comment for the three behaviours. *)
+let apply strictness (check : unit -> Grip_error.t option) =
+  match strictness with
+  | Off -> Ok ()
+  | Warn -> (
+      match check () with
+      | None -> Ok ()
+      | Some e ->
+          Format.eprintf "grip: warning: %a@." Grip_error.pp e;
+          Ok ())
+  | Strict -> ( match check () with None -> Ok () | Some e -> Error e)
+
+(** [all strictness checks] — {!apply} each check in order, stopping at
+    the first strict violation. *)
+let all strictness checks =
+  List.fold_left
+    (fun acc check -> match acc with Error _ -> acc | Ok () -> apply strictness check)
+    (Ok ()) checks

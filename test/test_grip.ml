@@ -451,6 +451,27 @@ let test_speedup_monotone_in_width () =
     (Printf.sprintf "s4 (%.2f) >= s2 (%.2f) - eps" s4 s2)
     true (s4 >= s2 -. 0.11)
 
+(* Starving the migration budget must be reported, not silently
+   accepted: the truncated schedule stays legal but the stats (and the
+   pipeline outcome) flag the exhaustion. *)
+let test_fuel_exhaustion_reported () =
+  let o =
+    Grip.Pipeline.run abc ~machine:(Machine.homogeneous 2)
+      ~method_:Grip.Pipeline.Grip ~horizon:16 ~max_migrations:3
+  in
+  Alcotest.(check bool) "flagged" true o.Grip.Pipeline.fuel_exhausted;
+  (match Grip.Pipeline.check o with
+  | Ok _ -> ()
+  | Error ms ->
+      Alcotest.failf "truncated schedule must stay sound (%d mismatches)"
+        (List.length ms));
+  let o' =
+    Grip.Pipeline.run abc ~machine:(Machine.homogeneous 2)
+      ~method_:Grip.Pipeline.Grip ~horizon:16
+  in
+  Alcotest.(check bool) "default budget suffices" false
+    o'.Grip.Pipeline.fuel_exhausted
+
 let () =
   Alcotest.run "grip"
     [
@@ -476,6 +497,8 @@ let () =
           Alcotest.test_case "no-gap diverges" `Quick test_no_gap_diverges_on_mixed_period;
           Alcotest.test_case "no-gap still sound" `Quick test_no_gap_still_sound;
           Alcotest.test_case "stats sane" `Quick test_scheduler_stats_sane;
+          Alcotest.test_case "fuel exhaustion reported" `Quick
+            test_fuel_exhaustion_reported;
         ] );
       ( "gapless",
         [

@@ -118,8 +118,11 @@ let test_type_errors () =
   List.iter
     (fun src ->
       match Minic.Compile.kernel_of_string src with
-      | Error { Minic.Compile.stage = "type"; _ } -> ()
-      | Error e -> Alcotest.failf "wrong stage %s for: %s" e.Minic.Compile.stage src
+      | Error { Grip_robust.Grip_error.stage = Frontend "type"; _ } -> ()
+      | Error e ->
+          Alcotest.failf "wrong stage %s for: %s"
+            (Grip_robust.Grip_error.stage_name e.Grip_robust.Grip_error.stage)
+            src
       | Ok _ -> Alcotest.failf "should not typecheck: %s" src)
     bad
 
