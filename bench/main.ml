@@ -420,6 +420,159 @@ let ablation () =
     Livermore.all
 
 (* ---------------------------------------------------------------- *)
+(* Machine-readable Table 1 artifact                                 *)
+(* ---------------------------------------------------------------- *)
+
+module Json = Grip_obs.Json
+module Obs = Grip_obs
+
+let table1_schema = "grip.bench.table1/1"
+
+(* One (loop, technique, width) measurement with its scheduler stats
+   and per-phase wall-clock breakdown — the machine-readable face of a
+   Table 1 cell. *)
+let json_cell (e : Livermore.entry) method_ fu horizon =
+  let machine = Machine.homogeneous fu in
+  let o = Pipeline.run e.Livermore.kernel ~machine ~method_ ?horizon in
+  let m = Pipeline.measure ~data:e.Livermore.data o in
+  let ok =
+    match Pipeline.check ~data:e.Livermore.data o with
+    | Ok _ -> true
+    | Error _ -> false
+  in
+  Json.Obj
+    [
+      ("speedup", Json.Num m.Speedup.speedup);
+      ("cycles_per_iter", Json.Num m.Speedup.sched_per_iter);
+      ("seq_cycles_per_iter", Json.Num m.Speedup.seq_per_iter);
+      ("steady_state", Json.Bool m.Speedup.steady);
+      ("converged", Json.Bool (o.Pipeline.pattern <> None));
+      ("oracle_ok", Json.Bool ok);
+      ("stats", Pipeline.stats_json o.Pipeline.stats);
+      ("phase_seconds", Pipeline.phase_seconds_json o.Pipeline.phase_seconds);
+    ]
+
+let table1_json ~out ~horizon () =
+  let techniques = [ ("grip", Pipeline.Grip); ("post", Pipeline.Post) ] in
+  let loops =
+    List.map
+      (fun (e : Livermore.entry) ->
+        let name = e.Livermore.kernel.Grip.Kernel.name in
+        Format.eprintf "[json] %s...@." name;
+        let per_fu =
+          List.map
+            (fun fu ->
+              ( Printf.sprintf "fu%d" fu,
+                Json.Obj
+                  (List.map
+                     (fun (tname, m) -> (tname, json_cell e m fu horizon))
+                     techniques) ))
+            fus
+        in
+        let g2, g4, g8 = e.Livermore.paper_grip
+        and p2, p4, p8 = e.Livermore.paper_post in
+        Json.Obj
+          ([
+             ("name", Json.Str name);
+             ( "ops_per_iteration",
+               Json.int (Grip.Kernel.ops_per_iteration e.Livermore.kernel) );
+             ( "paper",
+               Json.Obj
+                 [
+                   ("grip", Json.List [ Json.Num g2; Json.Num g4; Json.Num g8 ]);
+                   ("post", Json.List [ Json.Num p2; Json.Num p4; Json.Num p8 ]);
+                 ] );
+           ]
+          @ per_fu))
+      Livermore.all
+  in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.Str table1_schema);
+        ("fus", Json.List (List.map Json.int fus));
+        ( "horizon",
+          match horizon with Some h -> Json.int h | None -> Json.Null );
+        ("loops", Json.List loops);
+      ]
+  in
+  let oc = open_out out in
+  output_string oc (Json.to_string ~pretty:true doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.eprintf "[json] wrote %s (%d loops x %d FU configs)@." out
+    (List.length loops) (List.length fus)
+
+(* Structural check of a Table 1 artifact: schema tag, one entry per
+   Livermore loop, and a grip+post cell (with speedup and stats) for
+   every FU configuration.  Exits non-zero on the first defect. *)
+let json_validate file =
+  let fail fmt =
+    Format.kasprintf
+      (fun msg ->
+        Format.eprintf "%s: %s@." file msg;
+        exit 1)
+      fmt
+  in
+  let contents =
+    try
+      let ic = open_in_bin file in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error e -> fail "%s" e
+  in
+  let doc =
+    match Json.parse contents with
+    | Ok d -> d
+    | Error e -> fail "invalid JSON: %s" e
+  in
+  (match Option.bind (Json.member "schema" doc) Json.to_str with
+  | Some s when s = table1_schema -> ()
+  | Some s -> fail "unexpected schema %S (want %S)" s table1_schema
+  | None -> fail "missing schema tag");
+  let loops =
+    match Option.bind (Json.member "loops" doc) Json.to_list with
+    | Some l -> l
+    | None -> fail "missing loops array"
+  in
+  let expected = List.length Livermore.all in
+  if List.length loops <> expected then
+    fail "expected %d loops, found %d" expected (List.length loops);
+  List.iter
+    (fun loop ->
+      let name =
+        match Option.bind (Json.member "name" loop) Json.to_str with
+        | Some n -> n
+        | None -> fail "loop entry without a name"
+      in
+      List.iter
+        (fun fu ->
+          let cell =
+            match Json.member (Printf.sprintf "fu%d" fu) loop with
+            | Some c -> c
+            | None -> fail "%s: missing fu%d entry" name fu
+          in
+          List.iter
+            (fun tech ->
+              match Json.member tech cell with
+              | None -> fail "%s/fu%d: missing %s cell" name fu tech
+              | Some c ->
+                  if Option.bind (Json.member "speedup" c) Json.to_float = None
+                  then fail "%s/fu%d/%s: missing speedup" name fu tech;
+                  (match Json.member "stats" c with
+                  | Some (Json.Obj _) -> ()
+                  | _ -> fail "%s/fu%d/%s: missing stats" name fu tech);
+                  match Json.member "phase_seconds" c with
+                  | Some (Json.Obj _) -> ()
+                  | _ -> fail "%s/fu%d/%s: missing phase_seconds" name fu tech)
+            [ "grip"; "post" ])
+        fus)
+    loops;
+  Format.printf "%s: OK (%d loops x %d FU configs)@." file expected
+    (List.length fus)
+
+(* ---------------------------------------------------------------- *)
 
 let all () =
   table1 ();
@@ -431,9 +584,38 @@ let all () =
   locality ();
   ablation ()
 
+(* [json] option parsing: --out FILE (default BENCH_table1.json) and
+   --horizon N (cap the unwinding so smoke runs stay cheap). *)
+let rec parse_json_opts ~out ~horizon = function
+  | [] -> (out, horizon)
+  | "--out" :: f :: rest -> parse_json_opts ~out:f ~horizon rest
+  | "--horizon" :: h :: rest ->
+      let h =
+        match int_of_string_opt h with
+        | Some h when h > 0 -> h
+        | _ ->
+            Format.eprintf "json: --horizon expects a positive integer@.";
+            exit 2
+      in
+      parse_json_opts ~out ~horizon:(Some h) rest
+  | other :: _ ->
+      Format.eprintf "json: unknown option %S@." other;
+      exit 2
+
 let () =
+  match Array.to_list Sys.argv with
+  | _ :: "json" :: rest ->
+      let out, horizon =
+        parse_json_opts ~out:"BENCH_table1.json" ~horizon:None rest
+      in
+      table1_json ~out ~horizon ()
+  | _ :: "json-validate" :: file :: _ -> json_validate file
+  | _ :: "json-validate" :: [] ->
+      Format.eprintf "json-validate: expected a file argument@.";
+      exit 2
+  | argv ->
   let jobs =
-    match Array.to_list Sys.argv with
+    match argv with
     | _ :: (_ :: _ as rest) -> rest
     | _ -> [ "all" ]
   in

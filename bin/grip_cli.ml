@@ -12,6 +12,9 @@ module Machine = Vliw_machine.Machine
 module Pipeline = Grip.Pipeline
 module Grip_error = Grip_robust.Grip_error
 module Guard = Grip_robust.Guard
+module Obs = Grip_obs
+module Trace = Grip_obs.Trace
+module Metrics = Grip_obs.Metrics
 
 (* Read a whole file, closing the channel on any failure and carrying
    [Sys_error] as a structured Io error instead of an uncaught
@@ -121,6 +124,51 @@ let no_fallback_arg =
   in
   Arg.(value & flag & info [ "no-fallback" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON trace of the run to $(docv) (open in \
+     chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Print scheduler counters, histograms and per-phase timings." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let show_table_arg =
+  let doc =
+    "Print an ASCII slot-occupancy timeline of the schedule, flagging the \
+     converged pattern window."
+  in
+  Arg.(value & flag & info [ "show-table" ] ~doc)
+
+(* Build the observability handle for the requested flags; returns the
+   handle and a finaliser that writes the trace file / prints metrics. *)
+let obs_of_flags ~trace_file ~metrics =
+  let chrome_buf = Buffer.create 4096 in
+  let tracer =
+    match trace_file with Some _ -> Trace.chrome chrome_buf | None -> Trace.null
+  in
+  let registry = if metrics then Metrics.create () else Metrics.disabled in
+  let obs = Obs.make ~trace:tracer ~metrics:registry () in
+  let finish () =
+    (match trace_file with
+    | Some path -> (
+        Trace.flush tracer;
+        match
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> Buffer.output_buffer oc chrome_buf)
+        with
+        | () -> Format.eprintf "grip: trace written to %s@." path
+        | exception Sys_error m ->
+            die (Grip_error.make Grip_error.Io (Grip_error.Io_failure m)))
+    | None -> ());
+    if metrics then Format.printf "-- metrics --@.%a" Metrics.pp registry
+  in
+  (obs, finish)
+
 (* -- compile ------------------------------------------------------------- *)
 
 let compile_cmd =
@@ -153,16 +201,33 @@ let compile_cmd =
 
 (* -- schedule ------------------------------------------------------------ *)
 
+let print_occupancy kern machine (pattern : Grip.Convergence.pattern option)
+    program =
+  Format.printf "%s@."
+    (Grip.Schedule_table.occupancy
+       ~jump_pos:(List.length kern.Grip.Kernel.body)
+       ?window:
+         (Option.map
+            (fun (p : Grip.Convergence.pattern) ->
+              (p.Grip.Convergence.start, p.Grip.Convergence.period,
+               p.Grip.Convergence.delta))
+            pattern)
+       ~machine program)
+
 (* Legacy unguarded path, kept for the Unifiable baseline (not a ladder
    rung). *)
-let schedule_unifiable kern data machine horizon table =
-  let o = Pipeline.run kern ~machine ~method_:Pipeline.Unifiable ?horizon in
+let schedule_unifiable ~obs kern data machine horizon table show_table =
+  let o =
+    Pipeline.run ~obs kern ~machine ~method_:Pipeline.Unifiable ?horizon
+  in
   if table then
     Format.printf "%s@."
       (Grip.Schedule_table.render
          ~jump_pos:(List.length kern.Grip.Kernel.body)
          o.Pipeline.program);
-  let m = Pipeline.measure ~data o in
+  if show_table then
+    print_occupancy kern machine o.Pipeline.pattern o.Pipeline.program;
+  let m = Pipeline.measure ~obs ~data o in
   Format.printf "%s on %a with %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
     kern.Grip.Kernel.name Machine.pp machine
     (Pipeline.method_name Pipeline.Unifiable)
@@ -181,16 +246,20 @@ let schedule_unifiable kern data machine horizon table =
       exit 1);
   Format.printf "scheduling time: %.3fs@." o.Pipeline.wall_seconds
 
-let schedule_run kernel fus method_ horizon table strictness no_fallback =
+let schedule_run kernel fus method_ horizon table strictness no_fallback
+    trace_file metrics show_table =
   match resolve kernel with
   | Error e -> die e
   | Ok (kern, data) -> (
       let machine = machine_of_fus fus in
+      let obs, finish_obs = obs_of_flags ~trace_file ~metrics in
+      Fun.protect ~finally:finish_obs @@ fun () ->
       match method_ with
-      | Pipeline.Unifiable -> schedule_unifiable kern data machine horizon table
+      | Pipeline.Unifiable ->
+          schedule_unifiable ~obs kern data machine horizon table show_table
       | _ -> (
           match
-            Pipeline.run_robust ?horizon ~strictness
+            Pipeline.run_robust ~obs ?horizon ~strictness
               ~fallback:(not no_fallback) ~data
               ~start:(Pipeline.rung_of_method method_) kern ~machine
           with
@@ -201,6 +270,9 @@ let schedule_run kernel fus method_ horizon table strictness no_fallback =
                   (Grip.Schedule_table.render
                      ~jump_pos:(List.length kern.Grip.Kernel.body)
                      r.Pipeline.program);
+              if show_table then
+                print_occupancy kern machine r.Pipeline.pattern
+                  r.Pipeline.program;
               Pipeline.pp_descents Format.std_formatter r.Pipeline.descents;
               let m = Pipeline.measure_robust ~data r in
               Format.printf
@@ -227,7 +299,8 @@ let schedule_cmd =
          "Pipeline a kernel through the guarded pipeline and report speedup")
     Term.(
       const schedule_run $ kernel_arg $ fus_arg $ method_arg $ horizon_arg
-      $ table_arg $ strictness_arg $ no_fallback_arg)
+      $ table_arg $ strictness_arg $ no_fallback_arg $ trace_arg $ metrics_arg
+      $ show_table_arg)
 
 (* -- simulate ------------------------------------------------------------ *)
 

@@ -13,6 +13,9 @@ module Redundant = Vliw_percolation.Redundant
 module Ddg = Vliw_analysis.Ddg
 module Grip_error = Grip_robust.Grip_error
 module Guard = Grip_robust.Guard
+module Obs = Grip_obs
+module Trace = Grip_obs.Trace
+module Metrics = Grip_obs.Metrics
 
 type method_ =
   | Grip  (** resource-constrained GRiP with gap prevention *)
@@ -26,6 +29,15 @@ let method_name = function
   | Post -> "POST"
   | Unifiable -> "Unifiable"
 
+(** The scheduler-specific statistics of a run, surfaced uniformly so
+    drivers (the CLI, the bench JSON artifact) can report whichever
+    technique ran — including the Unifiable baseline, whose stats used
+    to be discarded. *)
+type sched_stats =
+  | Grip_stats of Scheduler.stats
+  | Post_stats of Post.stats
+  | Unifiable_stats of Unifiable.stats
+
 type outcome = {
   program : Program.t;  (** the scheduled unwound program *)
   kernel : Kernel.t;
@@ -37,6 +49,9 @@ type outcome = {
   static_cpi : float option;  (** cycles/iteration from the pattern *)
   redundant_removed : int * int * int;  (** loads, copies, dead ops *)
   wall_seconds : float;  (** scheduling time (the efficiency claim) *)
+  phase_seconds : (string * float) list;
+      (** per-phase wall time: unwind, redundancy, schedule, converge *)
+  stats : sched_stats;  (** the scheduler's own counters *)
   fuel_exhausted : bool;
       (** the migration budget truncated scheduling (see
           {!Scheduler.stats.fuel_exhausted}) *)
@@ -53,11 +68,36 @@ let ddg_of (k : Kernel.t) =
     [k]. *)
 let default_rank (k : Kernel.t) = Rank.section_3_4 ~ddg:(ddg_of k)
 
-(** [run ?rank ?horizon ?redundancy ?speculation k ~machine ~method_]
-    schedules kernel [k].  The default horizon scales with the machine
-    width so wide machines see enough iterations to converge;
-    [speculation] tunes the section 1 policy (GRiP methods only). *)
-let run ?rank ?horizon ?(redundancy = true)
+(* Unifiable's loop stops at its migration budget without marking the
+   truncation; reaching the budget is the only observable signal. *)
+let fuel_exhausted_of = function
+  | Grip_stats (s : Scheduler.stats) -> s.Scheduler.fuel_exhausted
+  | Post_stats (s : Post.stats) -> s.Post.phase1.Scheduler.fuel_exhausted
+  | Unifiable_stats _ -> false (* resolved in [run], where the budget is known *)
+
+let occupancy_bounds = [| 0; 1; 2; 3; 4; 6; 8; 12; 16 |]
+
+(* Per-instruction slot occupancy of the final schedule, along the
+   internal path (the utilization figure the paper argues GRiP wins). *)
+let observe_occupancy (obs : Obs.t) machine p rows =
+  if Metrics.enabled obs.Obs.metrics then
+    List.iter
+      (fun (r : Schedule_table.row) ->
+        match Program.node_opt p r.Schedule_table.node with
+        | None -> ()
+        | Some n ->
+            Metrics.observe obs.Obs.metrics ~bounds:occupancy_bounds
+              "schedule.slot_occupancy"
+              (Machine.slot_demand machine n))
+      rows
+
+(** [run ?obs ?rank ?horizon ?redundancy ?speculation k ~machine
+    ~method_] schedules kernel [k].  The default horizon scales with
+    the machine width so wide machines see enough iterations to
+    converge; [speculation] tunes the section 1 policy (GRiP methods
+    only); [obs] receives phase spans, migration events and scheduler
+    metrics (default: the null sink). *)
+let run ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
     ?(speculation = Scheduler.Always) ?max_migrations (k : Kernel.t) ~machine
     ~method_ =
   let rank = match rank with Some r -> r | None -> default_rank k in
@@ -66,48 +106,65 @@ let run ?rank ?horizon ?(redundancy = true)
     | Some h -> h
     | None -> max 18 ((2 * Machine.width machine) + 6)
   in
-  let u = Unwind.build k ~horizon in
+  let u, t_unwind = Obs.timed obs Trace.Unwind (fun () -> Unwind.build k ~horizon) in
   let p = u.Unwind.program in
   let exit_live = Kernel.exit_live k in
-  let redundant_removed =
-    if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0)
+  let redundant_removed, t_redundancy =
+    Obs.timed obs Trace.Redundancy (fun () ->
+        if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0))
   in
-  let t0 = Unix.gettimeofday () in
+  let unifiable_budget = ref 0 in
+  let stats, wall_seconds =
+    Obs.timed obs Trace.Schedule (fun () ->
+        match method_ with
+        | Grip | Grip_no_gap ->
+            let ctx = Ctx.make ~obs p ~machine ~exit_live in
+            let base = Scheduler.default_config ~rank in
+            let config =
+              {
+                base with
+                Scheduler.gap_prevention = (method_ = Grip);
+                Scheduler.speculation = speculation;
+                Scheduler.max_migrations =
+                  Option.value max_migrations
+                    ~default:base.Scheduler.max_migrations;
+              }
+            in
+            Grip_stats (Scheduler.run config ctx)
+        | Post ->
+            let ctx_unlimited =
+              Ctx.make ~obs p ~machine:Machine.unlimited ~exit_live
+            in
+            let ctx_real = Ctx.make ~obs p ~machine ~exit_live in
+            Post_stats (Post.run ctx_unlimited ctx_real ~rank)
+        | Unifiable ->
+            let ctx = Ctx.make ~obs p ~machine ~exit_live in
+            let base = Unifiable.default_config ~rank ~ddg:(ddg_of k) ~horizon in
+            let config =
+              {
+                base with
+                Unifiable.max_migrations =
+                  Option.value max_migrations
+                    ~default:base.Unifiable.max_migrations;
+              }
+            in
+            unifiable_budget := config.Unifiable.max_migrations;
+            Unifiable_stats (Unifiable.run config ctx))
+  in
   let fuel_exhausted =
-    match method_ with
-    | Grip | Grip_no_gap ->
-        let ctx = Ctx.make p ~machine ~exit_live in
-        let base = Scheduler.default_config ~rank in
-        let config =
-          {
-            base with
-            Scheduler.gap_prevention = (method_ = Grip);
-            Scheduler.speculation = speculation;
-            Scheduler.max_migrations =
-              Option.value max_migrations ~default:base.Scheduler.max_migrations;
-          }
-        in
-        (Scheduler.run config ctx).Scheduler.fuel_exhausted
-    | Post ->
-        let ctx_unlimited = Ctx.make p ~machine:Machine.unlimited ~exit_live in
-        let ctx_real = Ctx.make p ~machine ~exit_live in
-        (Post.run ctx_unlimited ctx_real ~rank).Post.phase1
-          .Scheduler.fuel_exhausted
-    | Unifiable ->
-        let ctx = Ctx.make p ~machine ~exit_live in
-        let config =
-          Unifiable.default_config ~rank ~ddg:(ddg_of k) ~horizon
-        in
-        ignore (Unifiable.run config ctx);
-        false
+    match stats with
+    | Unifiable_stats s -> s.Unifiable.migrations >= !unifiable_budget
+    | s -> fuel_exhausted_of s
   in
-  let wall_seconds = Unix.gettimeofday () -. t0 in
-  let rows = Schedule_table.rows p in
-  let pattern =
-    Convergence.detect
-      ~body_positions:(List.length k.Kernel.body + 1)
-      rows
+  let (rows, pattern), t_converge =
+    Obs.timed obs Trace.Converge (fun () ->
+        let rows = Schedule_table.rows p in
+        ( rows,
+          Convergence.detect
+            ~body_positions:(List.length k.Kernel.body + 1)
+            rows ))
   in
+  observe_occupancy obs machine p rows;
   {
     program = p;
     kernel = k;
@@ -119,6 +176,14 @@ let run ?rank ?horizon ?(redundancy = true)
     static_cpi = Option.map Convergence.cycles_per_iteration pattern;
     redundant_removed;
     wall_seconds;
+    phase_seconds =
+      [
+        ("unwind", t_unwind);
+        ("redundancy", t_redundancy);
+        ("schedule", wall_seconds);
+        ("converge", t_converge);
+      ];
+    stats;
     fuel_exhausted;
   }
 
@@ -127,14 +192,16 @@ let run ?rank ?horizon ?(redundancy = true)
     the same phase of any repeating pattern with delta in {1,2,3,4,6}
     and the pipeline-drain epilogues cancel in the difference
     quotient. *)
-let measure ?data (o : outcome) =
+let measure ?(obs = Obs.null) ?data (o : outcome) =
   let n2 = o.horizon - 2 in
   let n1 = if n2 > 13 then n2 - 12 else max 1 (n2 / 2) in
   (* steady-state differencing is only sound when the schedule
      converged (exits then drain through phase-equal epilogues); a
      non-convergent schedule is charged its full execution *)
   let steady = o.pattern <> None in
-  Speedup.measure ?data ~steady o.kernel ~scheduled:o.program ~n1 ~n2
+  fst
+    (Obs.timed obs Trace.Measure (fun () ->
+         Speedup.measure ?data ~steady o.kernel ~scheduled:o.program ~n1 ~n2))
 
 (** [check outcome] — oracle equivalence of the scheduled program
     against the rolled loop. *)
@@ -204,62 +271,77 @@ let oracle_final ~kernel ~mstr ~data ~n k p =
    stage.  Intermediate structural / resource / oracle spot-checks obey
    [strictness]; fuel, deadline, convergence and the final oracle check
    abandon the rung unconditionally. *)
-let attempt_pipelining ~rank ~horizon ~redundancy ~speculation ~strictness
+let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
     ~max_migrations ~deadline ~data (k : Kernel.t) ~machine ~method_ =
   let kernel = k.Kernel.name in
   let mstr = Format.asprintf "%a" Machine.pp machine in
-  let t0 = Unix.gettimeofday () in
-  let* u = Grip_error.guard (fun () -> Unwind.build k ~horizon) in
+  let* (u, t_unwind) =
+    Grip_error.guard (fun () ->
+        Obs.timed obs Trace.Unwind (fun () -> Unwind.build k ~horizon))
+  in
   let p = u.Unwind.program in
   let exit_live = Kernel.exit_live k in
   let rolled = (Kernel.rolled k).Builder.program in
   let spot_n = min 4 (horizon - 2) in
   let* () =
-    Guard.all strictness
-      [ (fun () -> Guard.structural ~kernel ~machine:mstr Grip_error.Unwind p) ]
+    Guard.all_named ~obs strictness
+      [
+        ( "unwind.structural",
+          fun () -> Guard.structural ~kernel ~machine:mstr Grip_error.Unwind p );
+      ]
   in
-  let redundant_removed =
-    if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0)
+  let redundant_removed, t_redundancy =
+    Obs.timed obs Trace.Redundancy (fun () ->
+        if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0))
   in
   let* () =
-    Guard.all strictness
+    Guard.all_named ~obs strictness
       [
-        (fun () ->
-          Guard.structural ~kernel ~machine:mstr Grip_error.Redundancy p);
-        (fun () ->
-          Guard.oracle ~kernel ~machine:mstr Grip_error.Redundancy
-            ~reference:rolled ~candidate:p
-            ~init:(Kernel.initial_state ~n:spot_n k ~data)
-            ~observable:k.Kernel.observable);
+        ( "redundancy.structural",
+          fun () ->
+            Guard.structural ~kernel ~machine:mstr Grip_error.Redundancy p );
+        ( "redundancy.oracle",
+          fun () ->
+            Guard.oracle ~kernel ~machine:mstr Grip_error.Redundancy
+              ~reference:rolled ~candidate:p
+              ~init:(Kernel.initial_state ~n:spot_n k ~data)
+              ~observable:k.Kernel.observable );
       ]
   in
   let budget =
     Option.value max_migrations
       ~default:(Scheduler.default_config ~rank).Scheduler.max_migrations
   in
-  let exhausted, migrations =
-    match method_ with
-    | Grip | Grip_no_gap ->
-        let ctx = Ctx.make p ~machine ~exit_live in
-        let base = Scheduler.default_config ~rank in
-        let config =
-          {
-            base with
-            Scheduler.gap_prevention = (method_ = Grip);
-            Scheduler.speculation = speculation;
-            Scheduler.max_migrations = budget;
-          }
-        in
-        let st = Scheduler.run config ctx in
-        (st.Scheduler.fuel_exhausted, st.Scheduler.migrations)
-    | Post ->
-        let ctx_unlimited = Ctx.make p ~machine:Machine.unlimited ~exit_live in
-        let ctx_real = Ctx.make p ~machine ~exit_live in
-        let st = (Post.run ctx_unlimited ctx_real ~rank).Post.phase1 in
-        (st.Scheduler.fuel_exhausted, st.Scheduler.migrations)
-    | Unifiable -> (false, 0)
+  let stats, wall_seconds =
+    Obs.timed obs Trace.Schedule (fun () ->
+        match method_ with
+        | Grip | Grip_no_gap ->
+            let ctx = Ctx.make ~obs p ~machine ~exit_live in
+            let base = Scheduler.default_config ~rank in
+            let config =
+              {
+                base with
+                Scheduler.gap_prevention = (method_ = Grip);
+                Scheduler.speculation = speculation;
+                Scheduler.max_migrations = budget;
+              }
+            in
+            Grip_stats (Scheduler.run config ctx)
+        | Post ->
+            let ctx_unlimited =
+              Ctx.make ~obs p ~machine:Machine.unlimited ~exit_live
+            in
+            let ctx_real = Ctx.make ~obs p ~machine ~exit_live in
+            Post_stats (Post.run ctx_unlimited ctx_real ~rank)
+        | Unifiable -> assert false (* not a ladder rung *))
   in
-  let wall_seconds = Unix.gettimeofday () -. t0 in
+  let exhausted = fuel_exhausted_of stats in
+  let migrations =
+    match stats with
+    | Grip_stats st -> st.Scheduler.migrations
+    | Post_stats st -> st.Post.phase1.Scheduler.migrations
+    | Unifiable_stats st -> st.Unifiable.migrations
+  in
   let* () =
     if exhausted then
       Error
@@ -276,16 +358,22 @@ let attempt_pipelining ~rank ~horizon ~redundancy ~speculation ~strictness
     | Some _ | None -> Ok ()
   in
   let* () =
-    Guard.all strictness
+    Guard.all_named ~obs strictness
       [
-        (fun () ->
-          Guard.structural ~kernel ~machine:mstr Grip_error.Validation p);
-        (fun () -> Guard.resources ~kernel Grip_error.Validation ~machine p);
+        ( "validation.structural",
+          fun () ->
+            Guard.structural ~kernel ~machine:mstr Grip_error.Validation p );
+        ( "validation.resources",
+          fun () -> Guard.resources ~kernel Grip_error.Validation ~machine p );
       ]
   in
-  let rows = Schedule_table.rows p in
-  let pattern =
-    Convergence.detect ~body_positions:(List.length k.Kernel.body + 1) rows
+  let (rows, pattern), t_converge =
+    Obs.timed obs Trace.Converge (fun () ->
+        let rows = Schedule_table.rows p in
+        ( rows,
+          Convergence.detect
+            ~body_positions:(List.length k.Kernel.body + 1)
+            rows ))
   in
   let* () =
     match pattern with
@@ -296,6 +384,7 @@ let attempt_pipelining ~rank ~horizon ~redundancy ~speculation ~strictness
              (Grip_error.Non_convergent { horizon }))
   in
   let* () = oracle_final ~kernel ~mstr ~data ~n:(horizon - 2) k p in
+  observe_occupancy obs machine p rows;
   Ok
     {
       program = p;
@@ -308,12 +397,20 @@ let attempt_pipelining ~rank ~horizon ~redundancy ~speculation ~strictness
       static_cpi = Option.map Convergence.cycles_per_iteration pattern;
       redundant_removed;
       wall_seconds;
+      phase_seconds =
+        [
+          ("unwind", t_unwind);
+          ("redundancy", t_redundancy);
+          ("schedule", wall_seconds);
+          ("converge", t_converge);
+        ];
+      stats;
       fuel_exhausted = false;
     }
 
 (* The list-scheduled rolled loop: no unwinding, no percolation; still
    guarded and still oracle-checked. *)
-let attempt_list ~strictness ~horizon ~data (k : Kernel.t) ~machine =
+let attempt_list ~obs ~strictness ~horizon ~data (k : Kernel.t) ~machine =
   let kernel = k.Kernel.name in
   let mstr = Format.asprintf "%a" Machine.pp machine in
   let* p =
@@ -326,11 +423,13 @@ let attempt_list ~strictness ~horizon ~data (k : Kernel.t) ~machine =
              (Grip_error.Message (Printexc.to_string e)))
   in
   let* () =
-    Guard.all strictness
+    Guard.all_named ~obs strictness
       [
-        (fun () ->
-          Guard.structural ~kernel ~machine:mstr Grip_error.Validation p);
-        (fun () -> Guard.resources ~kernel Grip_error.Validation ~machine p);
+        ( "validation.structural",
+          fun () ->
+            Guard.structural ~kernel ~machine:mstr Grip_error.Validation p );
+        ( "validation.resources",
+          fun () -> Guard.resources ~kernel Grip_error.Validation ~machine p );
       ]
   in
   let* () = oracle_final ~kernel ~mstr ~data ~n:(horizon - 2) k p in
@@ -344,7 +443,7 @@ let attempt_list ~strictness ~horizon ~data (k : Kernel.t) ~machine =
     mismatch.  With [fallback] (default), the result is always [Ok]:
     the bottom rung is the sequential reference itself.  With
     [~fallback:false] the first abandonment is returned as [Error]. *)
-let run_robust ?rank ?horizon ?(redundancy = true)
+let run_robust ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
     ?(speculation = Scheduler.Always) ?(strictness = Guard.Strict)
     ?(fallback = true) ?max_migrations ?deadline
     ?(data = Kernel.default_data) ?(start = R_grip) (k : Kernel.t) ~machine =
@@ -385,20 +484,28 @@ let run_robust ?rank ?horizon ?(redundancy = true)
         in
         Result.map
           (fun (o : outcome) -> (o.program, Some o, o.pattern))
-          (attempt_pipelining ~rank ~horizon ~redundancy ~speculation
+          (attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation
              ~strictness ~max_migrations ~deadline ~data k ~machine ~method_)
     | R_list ->
         Result.map
           (fun p -> (p, None, None))
-          (attempt_list ~strictness ~horizon ~data k ~machine)
+          (attempt_list ~obs ~strictness ~horizon ~data k ~machine)
     | R_sequential -> Ok ((Kernel.rolled k).Builder.program, None, None)
   in
   let rec go descents = function
     | [] -> assert false (* the sequential rung never fails *)
     | rung :: rest -> (
-        match attempt rung with
+        let result, _ =
+          Obs.timed obs (Trace.Stage ("rung:" ^ rung_name rung)) (fun () ->
+              attempt rung)
+        in
+        match result with
         | Ok win -> Ok (finish rung descents win)
         | Error e ->
+            Metrics.incr obs.Obs.metrics "ladder.descents";
+            Trace.emit obs.Obs.trace
+              (Trace.Descent
+                 { rung = rung_name rung; reason = Grip_error.to_string e });
             if fallback && rest <> [] then go ((rung, e) :: descents) rest
             else Error e)
   in
@@ -421,3 +528,50 @@ let pp_descents ppf ds =
     (fun (rung, e) ->
       Format.fprintf ppf "%s abandoned: %a@." (rung_name rung) Grip_error.pp e)
     ds
+
+(* -- machine-readable renderings ------------------------------------------ *)
+
+module Json = Grip_obs.Json
+
+(** [stats_json stats] — the scheduler counters as JSON (the [bench
+    json] artifact and [grip schedule --metrics] both use this). *)
+let stats_json = function
+  | Grip_stats (s : Scheduler.stats) ->
+      Json.Obj
+        [
+          ("technique", Json.Str "grip");
+          ("nodes_scheduled", Json.int s.Scheduler.nodes_scheduled);
+          ("migrations", Json.int s.Scheduler.migrations);
+          ("hops", Json.int s.Scheduler.hops);
+          ("reached", Json.int s.Scheduler.reached);
+          ("suspensions", Json.int s.Scheduler.suspensions);
+          ("resource_barriers", Json.int s.Scheduler.resource_barrier_events);
+          ("fuel_exhausted", Json.Bool s.Scheduler.fuel_exhausted);
+        ]
+  | Post_stats (s : Post.stats) ->
+      Json.Obj
+        [
+          ("technique", Json.Str "post");
+          ("breaks", Json.int s.Post.breaks);
+          ("demoted_ops", Json.int s.Post.demoted_ops);
+          ("cj_splits", Json.int s.Post.cj_splits);
+          ("repair_hops", Json.int s.Post.repair_hops);
+          ("phase1_migrations", Json.int s.Post.phase1.Scheduler.migrations);
+          ("phase1_hops", Json.int s.Post.phase1.Scheduler.hops);
+          ("phase1_suspensions", Json.int s.Post.phase1.Scheduler.suspensions);
+          ( "fuel_exhausted",
+            Json.Bool s.Post.phase1.Scheduler.fuel_exhausted );
+        ]
+  | Unifiable_stats (s : Unifiable.stats) ->
+      Json.Obj
+        [
+          ("technique", Json.Str "unifiable");
+          ("nodes_scheduled", Json.int s.Unifiable.nodes_scheduled);
+          ("migrations", Json.int s.Unifiable.migrations);
+          ("rollbacks", Json.int s.Unifiable.rollbacks);
+          ("reached", Json.int s.Unifiable.reached);
+          ("set_computations", Json.int s.Unifiable.set_computations);
+        ]
+
+let phase_seconds_json ps =
+  Json.Obj (List.map (fun (name, s) -> (name, Json.Num s)) ps)

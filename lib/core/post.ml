@@ -20,6 +20,7 @@ module Machine = Vliw_machine.Machine
 module Ctx = Vliw_percolation.Ctx
 module Move_op = Vliw_percolation.Move_op
 module Move_cj = Vliw_percolation.Move_cj
+module Metrics = Grip_obs.Metrics
 
 type stats = {
   mutable breaks : int;  (** spliced break nodes *)
@@ -73,6 +74,7 @@ let break_node (ctx : Ctx.t) rank stats n =
       else splice_above p !work
     in
     stats.breaks <- stats.breaks + 1;
+    Metrics.incr ctx.Ctx.obs.Grip_obs.metrics "post.breaks";
     (* move best-ranked unguarded ops up while the new node has room
        and the old one is too full *)
     let progress = ref true in
@@ -173,6 +175,7 @@ let local_repair (ctx : Ctx.t) rank stats =
             with
             | Some () ->
                 stats.repair_hops <- stats.repair_hops + 1;
+                Metrics.incr ctx.Ctx.obs.Grip_obs.metrics "post.repair_hops";
                 progress := true;
                 changed := true
             | None -> ()

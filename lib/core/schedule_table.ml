@@ -75,6 +75,66 @@ let rows (p : Program.t) =
       else Some { node = id; cells })
     (main_path p)
 
+(** [occupancy ?window ~machine p] — an ASCII slot-occupancy timeline
+    of [p]'s internal path: one line per instruction with a bar of
+    [#] (used slots) padded with [.] to the issue width, the
+    demand/width ratio, and the operations the instruction executes.
+    [window] is a converged pattern as [(start, period, delta)] (see
+    [Convergence.pattern], which lives above this module in the
+    dependency order); its rows are flagged with [|] — the
+    steady-state loop body whose utilisation the paper's efficiency
+    argument is about.  On an unlimited machine the bar is drawn
+    against the widest instruction instead of the issue width. *)
+let occupancy ?(jump_pos = -1) ?window ~machine (p : Program.t) =
+  let module Machine = Vliw_machine.Machine in
+  let rws = rows p in
+  let demand r =
+    match Program.node_opt p r.node with
+    | Some n -> Machine.slot_demand machine n
+    | None -> 0
+  in
+  let bar_width =
+    if Machine.is_unlimited machine then
+      List.fold_left (fun w r -> max w (demand r)) 1 rws
+    else Machine.width machine
+  in
+  let in_window ri =
+    match window with
+    | Some (start, period, _) -> ri >= start && ri < start + period
+    | None -> false
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-5s %-*s %7s   ops\n" "row" (bar_width + 2) "occupancy"
+       "used");
+  List.iteri
+    (fun ri r ->
+      let d = demand r in
+      let used = min d bar_width in
+      let bar =
+        String.make used '#' ^ String.make (max 0 (bar_width - used)) '.'
+      in
+      let ops =
+        String.concat " "
+          (List.map
+             (fun (pos, it) -> Printf.sprintf "%s%d" (letter ~jump_pos pos) it)
+             r.cells)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%4d%s [%s] %3d/%-3d   %s\n" (ri + 1)
+           (if in_window ri then "|" else " ")
+           bar d bar_width ops))
+    rws;
+  (match window with
+  | Some (start, period, delta) ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "rows %d..%d (|) repeat every %d iteration(s): the converged loop \
+            body\n"
+           (start + 1) (start + period) delta)
+  | None -> Buffer.add_string buf "no converged pattern\n");
+  Buffer.contents buf
+
 (** [render ?jump_pos p] pretty-prints the iteration/instruction table
     of [p]'s internal path. *)
 let render ?(jump_pos = -1) (p : Program.t) =

@@ -24,6 +24,8 @@ open Vliw_ir
 module Machine = Vliw_machine.Machine
 module Ctx = Vliw_percolation.Ctx
 module Migrate = Vliw_percolation.Migrate
+module Trace = Grip_obs.Trace
+module Metrics = Grip_obs.Metrics
 
 type stats = {
   mutable nodes_scheduled : int;
@@ -123,6 +125,9 @@ let moveable_ops (p : Program.t) dom n =
 (** [schedule_node ?on_move config ctx stats n] fills node [n].  *)
 let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
   let p = ctx.Ctx.program in
+  let obs = ctx.Ctx.obs in
+  let tr = obs.Grip_obs.trace and mx = obs.Grip_obs.metrics in
+  let tracing = Grip_obs.Trace.enabled tr in
   let dom = dominators ctx in
   let initial = moveable_ops p dom n in
   (* ranked queue of op ids; metadata re-fetched from the program *)
@@ -136,10 +141,23 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
         | Some op -> Some (home, op)
         | None -> None)
   in
+  (* Rule-3 reverse-postorder index, cached by program version: while
+     suspensions exist, only a successful hop (which bumps the version)
+     changes node order, so consecutive iterations over failed attempts
+     reuse the table instead of rebuilding it from a full RPO walk. *)
+  let rpo_cache : (int * (int, int) Hashtbl.t) option ref = ref None in
   let rpo_index () =
-    let tbl = Hashtbl.create 64 in
-    List.iteri (fun i id -> Hashtbl.replace tbl id i) (Program.rpo p);
-    tbl
+    let v = Program.version p in
+    match !rpo_cache with
+    | Some (v', tbl) when v' = v ->
+        Metrics.incr mx "scheduler.rpo_rebuilds_saved";
+        tbl
+    | _ ->
+        let tbl = Hashtbl.create 64 in
+        List.iteri (fun i id -> Hashtbl.replace tbl id i) (Program.rpo p);
+        rpo_cache := Some (v, tbl);
+        Metrics.incr mx "scheduler.rpo_rebuilds";
+        tbl
   in
   let continue_ = ref true in
   while !continue_ do
@@ -185,6 +203,10 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
         else begin
           Hashtbl.replace attempted best.Operation.id ();
           stats.migrations <- stats.migrations + 1;
+          Metrics.incr mx "scheduler.migrations";
+          if tracing then
+            Trace.emit tr
+              (Trace.Migrate_attempt { op = best.Operation.id; target = n });
           let hooks =
             {
               Migrate.allow_hop =
@@ -195,6 +217,16 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
               Migrate.on_suspend =
                 (fun op ->
                   stats.suspensions <- stats.suspensions + 1;
+                  Metrics.incr mx "scheduler.suspensions";
+                  if tracing then
+                    Trace.emit tr
+                      (Trace.Migrate_suspend
+                         {
+                           op = op.Operation.id;
+                           node =
+                             Option.value ~default:(-1)
+                               (Program.home p op.Operation.id);
+                         });
                   Hashtbl.replace suspended op.Operation.id ());
               Migrate.early_stop =
                 (fun ~moved -> moved > 0 && Hashtbl.length suspended > 0);
@@ -204,12 +236,28 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
             Migrate.migrate ctx ~hooks ~target:n ~op_id:best.Operation.id ()
           in
           stats.hops <- stats.hops + r.Migrate.moved;
-          if r.Migrate.reached_target then stats.reached <- stats.reached + 1;
+          Metrics.add mx "scheduler.hops" r.Migrate.moved;
+          Metrics.observe mx "scheduler.travel_distance" r.Migrate.moved;
+          if r.Migrate.reached_target then begin
+            stats.reached <- stats.reached + 1;
+            Metrics.incr mx "scheduler.reached"
+          end;
           (match r.Migrate.last_failure with
           | Some (Migrate.Op Vliw_percolation.Move_op.No_room) ->
               (* blocked by a full node short of the target: a resource
                  barrier (section 3.2) *)
-              stats.resource_barrier_events <- stats.resource_barrier_events + 1
+              stats.resource_barrier_events <-
+                stats.resource_barrier_events + 1;
+              Metrics.incr mx "scheduler.barriers";
+              if tracing then
+                Trace.emit tr
+                  (Trace.Migrate_barrier
+                     {
+                       op = r.Migrate.final_id;
+                       node =
+                         Option.value ~default:(-1)
+                           (Program.home p r.Migrate.final_id);
+                     })
           | Some _ | None -> ());
           (match on_move with
           | Some f when r.Migrate.moved > 0 -> f ~op:best ~outcome:r

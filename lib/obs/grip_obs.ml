@@ -1,0 +1,42 @@
+(** Observability for the GRiP stack: typed tracing ({!Trace}),
+    counters / histograms / timings ({!Metrics}), and the minimal JSON
+    layer both share ({!Json}).
+
+    A {!t} bundles one tracer and one metrics registry and is threaded
+    through the percolation context ([Vliw_percolation.Ctx]) and the
+    pipeline drivers.  {!null} — the default everywhere — disables
+    both: instrumented hot paths guard on [enabled] so an unobserved
+    run pays a boolean test per site and nothing else. *)
+
+module Json = Json
+module Trace = Trace
+module Metrics = Metrics
+
+type t = { trace : Trace.t; metrics : Metrics.t }
+
+let null = { trace = Trace.null; metrics = Metrics.disabled }
+
+let make ?(trace = Trace.null) ?(metrics = Metrics.disabled) () =
+  { trace; metrics }
+
+let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+
+(** [timed t phase f] — run [f] inside a [phase] span, accumulate its
+    wall time under [phase.<name>], and return (result, seconds).  The
+    timing pair is returned even when [t] is {!null}, so drivers can
+    report per-phase seconds without enabling observability. *)
+let timed t phase f =
+  Trace.emit t.trace (Trace.Span_begin phase);
+  let t0 = Unix.gettimeofday () in
+  let finish () = Unix.gettimeofday () -. t0 in
+  match f () with
+  | v ->
+      let dt = finish () in
+      Trace.emit t.trace (Trace.Span_end phase);
+      Metrics.add_time t.metrics ("phase." ^ Trace.phase_name phase) dt;
+      (v, dt)
+  | exception e ->
+      let dt = finish () in
+      Trace.emit t.trace (Trace.Span_end phase);
+      Metrics.add_time t.metrics ("phase." ^ Trace.phase_name phase) dt;
+      raise e

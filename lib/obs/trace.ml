@@ -1,0 +1,228 @@
+(** Typed trace events for the GRiP scheduling stack.
+
+    Producers (the percolation engine, the scheduler, the pipeline
+    driver, the robustness guards) emit {!event}s through a {!t}; the
+    sink decides what happens to them.  Four sinks are provided:
+
+    - {!null} — the default; [enabled] is false so producers skip even
+      event construction (the hot paths guard on it), making the cost
+      of an untraced run a pointer test per emission site;
+    - {!ring} — a bounded in-memory ring buffer, the replay surface for
+      tests and for post-run rendering;
+    - {!log} — a human-readable line per event on a formatter;
+    - {!chrome} — incremental Chrome [trace_event] JSON (load the file
+      in chrome://tracing or ui.perfetto.dev).
+
+    Timestamps are wall-clock seconds from [Unix.gettimeofday],
+    converted to microseconds relative to the tracer's creation when
+    rendered for Chrome. *)
+
+(** Pipeline phases spanned with {!Span_begin}/{!Span_end}. *)
+type phase =
+  | Unwind
+  | Redundancy
+  | Schedule
+  | Converge
+  | Measure
+  | Stage of string  (** anything else (ladder rungs, CLI stages) *)
+
+let phase_name = function
+  | Unwind -> "unwind"
+  | Redundancy -> "redundancy"
+  | Schedule -> "schedule"
+  | Converge -> "converge"
+  | Measure -> "measure"
+  | Stage s -> s
+
+type event =
+  | Span_begin of phase
+  | Span_end of phase
+  | Migrate_attempt of { op : int; target : int }
+      (** the scheduler launched a migration of [op] toward [target] *)
+  | Migrate_hop of { op : int; from_ : int; to_ : int }
+      (** one successful one-node move *)
+  | Migrate_suspend of { op : int; node : int }
+      (** gap prevention vetoed the hop; [op] suspended at [node] *)
+  | Migrate_barrier of { op : int; node : int }
+      (** a full node short of the target blocked [op] (section 3.2) *)
+  | Guard_verdict of { guard : string; ok : bool; detail : string }
+  | Descent of { rung : string; reason : string }
+      (** the degradation ladder abandoned [rung] *)
+  | Note of string
+
+let event_name = function
+  | Span_begin p -> "begin:" ^ phase_name p
+  | Span_end p -> "end:" ^ phase_name p
+  | Migrate_attempt _ -> "migrate.attempt"
+  | Migrate_hop _ -> "migrate.hop"
+  | Migrate_suspend _ -> "migrate.suspend"
+  | Migrate_barrier _ -> "migrate.barrier"
+  | Guard_verdict _ -> "guard"
+  | Descent _ -> "descent"
+  | Note _ -> "note"
+
+let pp_event ppf = function
+  | Span_begin p -> Format.fprintf ppf "begin %s" (phase_name p)
+  | Span_end p -> Format.fprintf ppf "end %s" (phase_name p)
+  | Migrate_attempt { op; target } ->
+      Format.fprintf ppf "migrate op%d -> n%d" op target
+  | Migrate_hop { op; from_; to_ } ->
+      Format.fprintf ppf "hop op%d n%d -> n%d" op from_ to_
+  | Migrate_suspend { op; node } ->
+      Format.fprintf ppf "suspend op%d at n%d" op node
+  | Migrate_barrier { op; node } ->
+      Format.fprintf ppf "barrier op%d at n%d" op node
+  | Guard_verdict { guard; ok; detail } ->
+      Format.fprintf ppf "guard %s: %s%s" guard
+        (if ok then "pass" else "FAIL")
+        (if detail = "" then "" else " (" ^ detail ^ ")")
+  | Descent { rung; reason } ->
+      Format.fprintf ppf "descend from %s: %s" rung reason
+  | Note s -> Format.pp_print_string ppf s
+
+(* -- sinks ---------------------------------------------------------------- *)
+
+type sink = {
+  emit : ts:float -> event -> unit;  (** [ts] is absolute seconds *)
+  flush : unit -> unit;
+}
+
+type t = {
+  enabled : bool;
+      (** producers must skip emission (and event construction)
+          entirely when false *)
+  sink : sink;
+  t0 : float;  (** creation time; Chrome timestamps are relative to it *)
+}
+
+let enabled t = t.enabled
+
+let null =
+  {
+    enabled = false;
+    sink = { emit = (fun ~ts:_ _ -> ()); flush = ignore };
+    t0 = 0.0;
+  }
+
+let make sink = { enabled = true; sink; t0 = Unix.gettimeofday () }
+
+(** [emit t ev] — timestamp and deliver [ev]; a no-op on a disabled
+    tracer (hot paths should additionally guard on {!enabled} to avoid
+    constructing [ev] at all). *)
+let emit t ev = if t.enabled then t.sink.emit ~ts:(Unix.gettimeofday ()) ev
+
+let flush t = if t.enabled then t.sink.flush ()
+
+(** [custom ?flush emit] — a user-supplied sink. *)
+let custom ?(flush = ignore) emit = make { emit; flush }
+
+(* ring buffer *)
+
+type ring = {
+  cap : int;
+  buf : (float * event) option array;
+  mutable next : int;  (** total events seen; slot = next mod cap *)
+}
+
+(** [ring ~capacity ()] — a tracer recording the last [capacity]
+    events; {!ring_events} returns them oldest-first and
+    {!ring_dropped} how many were overwritten. *)
+let ring ?(capacity = 1 lsl 20) () =
+  let r = { cap = capacity; buf = Array.make capacity None; next = 0 } in
+  let emit ~ts ev =
+    r.buf.(r.next mod r.cap) <- Some (ts, ev);
+    r.next <- r.next + 1
+  in
+  (r, make { emit; flush = ignore })
+
+let ring_dropped r = max 0 (r.next - r.cap)
+
+let ring_events r =
+  let start = ring_dropped r in
+  List.filter_map
+    (fun i -> r.buf.(i mod r.cap))
+    (List.init (r.next - start) (fun i -> start + i))
+
+(* human log *)
+
+let log ppf =
+  make
+    {
+      emit = (fun ~ts ev -> Format.fprintf ppf "[%17.6f] %a@." ts pp_event ev);
+      flush = (fun () -> Format.pp_print_flush ppf ());
+    }
+
+(* Chrome trace_event JSON *)
+
+let chrome_args = function
+  | Span_begin _ | Span_end _ -> []
+  | Migrate_attempt { op; target } ->
+      [ ("op", Json.int op); ("target", Json.int target) ]
+  | Migrate_hop { op; from_; to_ } ->
+      [ ("op", Json.int op); ("from", Json.int from_); ("to", Json.int to_) ]
+  | Migrate_suspend { op; node } | Migrate_barrier { op; node } ->
+      [ ("op", Json.int op); ("node", Json.int node) ]
+  | Guard_verdict { guard; ok; detail } ->
+      [ ("guard", Json.Str guard); ("ok", Json.Bool ok);
+        ("detail", Json.Str detail) ]
+  | Descent { rung; reason } ->
+      [ ("rung", Json.Str rung); ("reason", Json.Str reason) ]
+  | Note s -> [ ("note", Json.Str s) ]
+
+(** [chrome_record ~t0 ts ev] — one [trace_event] object; [ts] and
+    [t0] in seconds, the record in microseconds since [t0]. *)
+let chrome_record ~t0 ts ev =
+  let us = (ts -. t0) *. 1e6 in
+  let name, ph =
+    match ev with
+    | Span_begin p -> (phase_name p, "B")
+    | Span_end p -> (phase_name p, "E")
+    | ev -> (event_name ev, "i")
+  in
+  let base =
+    [
+      ("name", Json.Str name);
+      ("cat", Json.Str "grip");
+      ("ph", Json.Str ph);
+      ("ts", Json.Num us);
+      ("pid", Json.int 1);
+      ("tid", Json.int 1);
+    ]
+  in
+  let scope = if ph = "i" then [ ("s", Json.Str "t") ] else [] in
+  let args =
+    match chrome_args ev with [] -> [] | a -> [ ("args", Json.Obj a) ]
+  in
+  Json.Obj (base @ scope @ args)
+
+(** [chrome buf] — a tracer streaming [trace_event] records into
+    [buf]; {!flush} completes the JSON array (idempotent). *)
+let chrome buf =
+  let first = ref true in
+  let closed = ref false in
+  let t0 = Unix.gettimeofday () in
+  let emit ~ts ev =
+    if not !closed then begin
+      Buffer.add_string buf (if !first then "[\n" else ",\n");
+      first := false;
+      Buffer.add_string buf (Json.to_string (chrome_record ~t0 ts ev))
+    end
+  in
+  let flush () =
+    if not !closed then begin
+      closed := true;
+      Buffer.add_string buf (if !first then "[]\n" else "\n]\n")
+    end
+  in
+  { enabled = true; sink = { emit; flush }; t0 }
+
+(** [chrome_string events] — render already-collected (absolute
+    timestamp, event) pairs, e.g. from a ring buffer, as a complete
+    Chrome trace JSON document. *)
+let chrome_string events =
+  let t0 =
+    List.fold_left (fun acc (ts, _) -> min acc ts) infinity events
+  in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  Json.to_string ~pretty:true
+    (Json.List (List.map (fun (ts, ev) -> chrome_record ~t0 ts ev) events))

@@ -1,6 +1,7 @@
 (** Shared context for the percolation transformations: the program
     being transformed, the target machine (resource checks happen at
-    every hop), the liveness oracle, and the renaming policy. *)
+    every hop), the liveness oracle, the renaming policy, and the
+    observability handle every transformation emits through. *)
 
 open Vliw_ir
 
@@ -9,20 +10,24 @@ type t = {
   machine : Vliw_machine.Machine.t;
   liveness : Vliw_analysis.Liveness.t;
   rename : bool;  (** repair write-live / move-past-read by renaming *)
+  obs : Grip_obs.t;
+      (** trace/metrics sink; [Grip_obs.null] (the default) makes every
+          emission site a boolean test *)
   mutable dom_cache : (int * Vliw_analysis.Dom.t) option;
       (** dominator tree keyed by [Program.version]; per-context rather
           than global so concurrent or nested scheduler runs cannot
           observe each other's cache *)
 }
 
-(** [make ?rename p ~machine ~exit_live] builds a context with a fresh
-    liveness oracle observing [exit_live] at the program exit. *)
-let make ?(rename = true) program ~machine ~exit_live =
+(** [make ?rename ?obs p ~machine ~exit_live] builds a context with a
+    fresh liveness oracle observing [exit_live] at the program exit. *)
+let make ?(rename = true) ?(obs = Grip_obs.null) program ~machine ~exit_live =
   {
     program;
     machine;
     liveness = Vliw_analysis.Liveness.make program ~exit_live;
     rename;
+    obs;
     dom_cache = None;
   }
 

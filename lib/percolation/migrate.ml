@@ -54,9 +54,18 @@ type outcome = {
 }
 
 (* Attempt one hop of [op] from [s] into [n]; returns the (possibly
-   new) op id on success. *)
+   new) op id on success.  Successful hops are the migration-level
+   trace: one [Migrate_hop] event each (attempts, suspensions and
+   barriers are emitted by the driving scheduler, which owns that
+   bookkeeping). *)
 let hop (ctx : Ctx.t) hooks ~from_:s ~to_:n ~op_id =
   let p = ctx.Ctx.program in
+  let trace_hop op =
+    let tr = ctx.Ctx.obs.Grip_obs.trace in
+    if Grip_obs.Trace.enabled tr then
+      Grip_obs.Trace.emit tr
+        (Grip_obs.Trace.Migrate_hop { op; from_ = s; to_ = n })
+  in
   let from_node = Program.node p s in
   match Node.find_any from_node op_id with
   | None -> Error Vanished
@@ -67,11 +76,15 @@ let hop (ctx : Ctx.t) hooks ~from_:s ~to_:n ~op_id =
       end
       else if Operation.is_cjump op then
         match Move_cj.move ctx ~from_:s ~to_:n ~cj_id:op_id with
-        | Ok r -> Ok r.Move_cj.cj.Operation.id
+        | Ok r ->
+            trace_hop r.Move_cj.cj.Operation.id;
+            Ok r.Move_cj.cj.Operation.id
         | Error f -> Error (Cj f)
       else
         match Move_op.move ctx ~from_:s ~to_:n ~op_id with
-        | Ok r -> Ok r.Move_op.op.Operation.id
+        | Ok r ->
+            trace_hop r.Move_op.op.Operation.id;
+            Ok r.Move_op.op.Operation.id
         | Error f -> Error (Op f)
 
 (** [migrate ctx ?hooks ~target ~op_id ()] — see module comment.

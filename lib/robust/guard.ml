@@ -95,3 +95,43 @@ let all strictness checks =
   List.fold_left
     (fun acc check -> match acc with Error _ -> acc | Ok () -> apply strictness check)
     (Ok ()) checks
+
+(** [apply_named ?obs strictness (name, check)] — {!apply} plus a
+    {!Grip_obs.Trace.Guard_verdict} event and [guard.pass]/[guard.fail]
+    counters for every guard that actually ran (under [Off] nothing is
+    evaluated, so nothing is emitted). *)
+let apply_named ?(obs = Grip_obs.null) strictness (name, check) =
+  match strictness with
+  | Off -> Ok ()
+  | Warn | Strict -> (
+      let verdict = check () in
+      (if Grip_obs.enabled obs then begin
+         let ok = verdict = None in
+         Grip_obs.Metrics.incr obs.Grip_obs.metrics
+           (if ok then "guard.pass" else "guard.fail");
+         Grip_obs.Trace.emit obs.Grip_obs.trace
+           (Grip_obs.Trace.Guard_verdict
+              {
+                guard = name;
+                ok;
+                detail =
+                  (match verdict with
+                  | None -> ""
+                  | Some e -> Grip_error.to_string e);
+              })
+       end);
+      match verdict with
+      | None -> Ok ()
+      | Some e when strictness = Warn ->
+          Format.eprintf "grip: warning: %a@." Grip_error.pp e;
+          Ok ()
+      | Some e -> Error e)
+
+(** [all_named ?obs strictness checks] — {!apply_named} each
+    [(name, check)] in order, stopping at the first strict
+    violation. *)
+let all_named ?obs strictness checks =
+  List.fold_left
+    (fun acc check ->
+      match acc with Error _ -> acc | Ok () -> apply_named ?obs strictness check)
+    (Ok ()) checks

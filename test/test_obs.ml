@@ -1,0 +1,296 @@
+(* Observability subsystem: JSON encoding/parsing, metrics, trace
+   sinks, and the invariant that ties them to the schedulers — the
+   migration events recorded during the Schedule phase replay exactly
+   to the scheduler's own counters. *)
+
+module Obs = Grip_obs
+module Json = Grip_obs.Json
+module Trace = Grip_obs.Trace
+module Metrics = Grip_obs.Metrics
+module Pipeline = Grip.Pipeline
+module Scheduler = Grip.Scheduler
+module Post = Grip.Post
+module Kernel = Grip.Kernel
+module Machine = Vliw_machine.Machine
+module Livermore = Workloads.Livermore
+
+let kernel name = (Option.get (Livermore.find name)).Livermore.kernel
+
+(* -- Json ----------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("a", Json.Num 1.5);
+        ("b", Json.Str "x\"y\\z\n\t");
+        ("c", Json.List [ Json.Bool true; Json.Bool false; Json.Null ]);
+        ("empty", Json.Obj []);
+        ("unicode", Json.Str "caf\xc3\xa9");
+        ("neg", Json.int (-42));
+      ]
+  in
+  List.iter
+    (fun pretty ->
+      match Json.parse (Json.to_string ~pretty v) with
+      | Ok v' -> Alcotest.(check bool) "roundtrip" true (v = v')
+      | Error e -> Alcotest.failf "roundtrip parse failed: %s" e)
+    [ false; true ]
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted invalid JSON %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"unterminated"; "[1] trailing" ]
+
+let test_json_escapes () =
+  match Json.parse {|"aAé😀b"|} with
+  | Ok (Json.Str s) ->
+      Alcotest.(check string) "unicode escapes" "aA\xc3\xa9\xf0\x9f\x98\x80b" s
+  | Ok _ -> Alcotest.fail "expected a string"
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+(* -- Metrics -------------------------------------------------------------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  Metrics.incr m "x";
+  Metrics.add m "x" 4;
+  Metrics.incr m "y";
+  Alcotest.(check int) "x" 5 (Metrics.counter m "x");
+  Alcotest.(check int) "y" 1 (Metrics.counter m "y");
+  Alcotest.(check int) "absent" 0 (Metrics.counter m "z");
+  (* disabled registry records nothing *)
+  Metrics.incr Metrics.disabled "x";
+  Alcotest.(check int) "disabled" 0 (Metrics.counter Metrics.disabled "x")
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  List.iter
+    (fun v -> Metrics.observe m ~bounds:[| 0; 1; 2; 4 |] "h" v)
+    [ 0; 1; 1; 3; 100 ];
+  match Metrics.histogram m "h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+      Alcotest.(check int) "n" 5 h.Metrics.n;
+      Alcotest.(check int) "sum" 105 h.Metrics.sum;
+      Alcotest.(check int) "max" 100 h.Metrics.vmax;
+      (* buckets: <=0, <=1, <=2, <=4, overflow *)
+      Alcotest.(check (array int)) "counts" [| 1; 2; 0; 1; 1 |] h.Metrics.counts
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.observe m "h" 3;
+  Metrics.add_time m "t" 0.25;
+  let j = Metrics.to_json m in
+  let member path =
+    List.fold_left (fun v k -> Option.bind v (Json.member k)) (Some j) path
+  in
+  Alcotest.(check (option (float 1e-9)))
+    "counter" (Some 1.0)
+    (Option.bind (member [ "counters"; "c" ]) Json.to_float);
+  Alcotest.(check (option (float 1e-9)))
+    "time" (Some 0.25)
+    (Option.bind (member [ "times"; "t" ]) Json.to_float);
+  Alcotest.(check bool)
+    "histogram present" true
+    (member [ "histograms"; "h" ] <> None);
+  (* and the dump itself is valid JSON text *)
+  match Json.parse (Json.to_string ~pretty:true j) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "metrics dump unparseable: %s" e
+
+(* -- trace replay invariant ----------------------------------------------- *)
+
+(* Events recorded between the Schedule span's begin and end. *)
+let schedule_events events =
+  let rec skip = function
+    | (_, Trace.Span_begin Trace.Schedule) :: rest -> take [] rest
+    | _ :: rest -> skip rest
+    | [] -> []
+  and take acc = function
+    | (_, Trace.Span_end Trace.Schedule) :: _ -> List.rev acc
+    | e :: rest -> take (e :: acc) rest
+    | [] -> List.rev acc
+  in
+  skip events
+
+type replay = { attempts : int; hops : int; suspends : int; barriers : int }
+
+let replay_of events =
+  List.fold_left
+    (fun r (_, ev) ->
+      match ev with
+      | Trace.Migrate_attempt _ -> { r with attempts = r.attempts + 1 }
+      | Trace.Migrate_hop _ -> { r with hops = r.hops + 1 }
+      | Trace.Migrate_suspend _ -> { r with suspends = r.suspends + 1 }
+      | Trace.Migrate_barrier _ -> { r with barriers = r.barriers + 1 }
+      | _ -> r)
+    { attempts = 0; hops = 0; suspends = 0; barriers = 0 }
+    (schedule_events events)
+
+(* Scheduling a kernel while recording to a ring buffer, then replaying
+   the migration events, must reconstruct the scheduler's own counters:
+   the trace is a faithful, lossless account of what the scheduler did.
+   POST's phase 2 (break/repair) moves operations directly rather than
+   through Migrate, so its replay matches the phase-1 counters. *)
+let check_replay name method_ fu =
+  let ring, tracer = Trace.ring () in
+  let obs = Obs.make ~trace:tracer () in
+  let o =
+    Pipeline.run ~obs (kernel name) ~machine:(Machine.homogeneous fu) ~method_
+  in
+  Alcotest.(check int) "ring did not overflow" 0 (Trace.ring_dropped ring);
+  let r = replay_of (Trace.ring_events ring) in
+  let ctx = Printf.sprintf "%s/%s/%dFU" name (Pipeline.method_name method_) fu in
+  let expect (s : Scheduler.stats) =
+    Alcotest.(check int) (ctx ^ " migrations") s.Scheduler.migrations r.attempts;
+    Alcotest.(check int) (ctx ^ " hops") s.Scheduler.hops r.hops;
+    Alcotest.(check int) (ctx ^ " suspensions") s.Scheduler.suspensions
+      r.suspends;
+    Alcotest.(check int)
+      (ctx ^ " barriers") s.Scheduler.resource_barrier_events r.barriers;
+    Alcotest.(check bool) (ctx ^ " did work") true (s.Scheduler.migrations > 0)
+  in
+  match o.Pipeline.stats with
+  | Pipeline.Grip_stats s -> expect s
+  | Pipeline.Post_stats s -> expect s.Post.phase1
+  | Pipeline.Unifiable_stats _ -> Alcotest.fail "unexpected Unifiable stats"
+
+let replay_cases =
+  List.concat_map
+    (fun name ->
+      List.concat_map
+        (fun fu ->
+          List.map
+            (fun m ->
+              let label =
+                Printf.sprintf "replay %s %s %dFU" name
+                  (Pipeline.method_name m) fu
+              in
+              Alcotest.test_case label `Slow (fun () -> check_replay name m fu))
+            [ Pipeline.Grip; Pipeline.Grip_no_gap; Pipeline.Post ])
+        [ 2; 4 ])
+    [ "LL1"; "LL5" ]
+
+(* -- null sink changes nothing -------------------------------------------- *)
+
+let test_null_sink_purity () =
+  let run obs =
+    let o =
+      Pipeline.run ~obs (kernel "LL1") ~machine:(Machine.homogeneous 2)
+        ~method_:Pipeline.Grip
+    in
+    let m = Pipeline.measure ~obs o in
+    (Grip.Schedule_table.render o.Pipeline.program, m.Grip.Speedup.speedup)
+  in
+  let table_null, speedup_null = run Obs.null in
+  let _, tracer = Trace.ring () in
+  let table_traced, speedup_traced =
+    run (Obs.make ~trace:tracer ~metrics:(Metrics.create ()) ())
+  in
+  Alcotest.(check string) "same schedule" table_null table_traced;
+  Alcotest.(check (float 1e-9)) "same speedup" speedup_null speedup_traced
+
+(* -- Chrome sink ---------------------------------------------------------- *)
+
+let test_chrome_sink_valid () =
+  let buf = Buffer.create 1024 in
+  let tracer = Trace.chrome buf in
+  let obs = Obs.make ~trace:tracer () in
+  let o =
+    Pipeline.run ~obs (kernel "LL1") ~machine:(Machine.homogeneous 2)
+      ~method_:Pipeline.Grip
+  in
+  ignore (Pipeline.measure ~obs o);
+  Trace.flush tracer;
+  match Json.parse (Buffer.contents buf) with
+  | Error e -> Alcotest.failf "chrome trace unparseable: %s" e
+  | Ok (Json.List records) ->
+      Alcotest.(check bool) "non-empty" true (records <> []);
+      let phases = Hashtbl.create 8 in
+      List.iter
+        (fun r ->
+          (match Option.bind (Json.member "ph" r) Json.to_str with
+          | Some ph -> Hashtbl.replace phases ph ()
+          | None -> Alcotest.fail "record without ph");
+          if Json.member "name" r = None then
+            Alcotest.fail "record without name";
+          if Option.bind (Json.member "ts" r) Json.to_float = None then
+            Alcotest.fail "record without numeric ts")
+        records;
+      List.iter
+        (fun ph ->
+          Alcotest.(check bool) ("has ph=" ^ ph) true (Hashtbl.mem phases ph))
+        [ "B"; "E" ]
+  | Ok _ -> Alcotest.fail "chrome trace is not a JSON array"
+
+(* -- Unifiable stats and fuel (the Pipeline.run fix) ----------------------- *)
+
+let test_unifiable_stats_surfaced () =
+  let o =
+    Pipeline.run Workloads.Paper_examples.abc ~machine:Machine.unlimited
+      ~method_:Pipeline.Unifiable ~horizon:4
+  in
+  (match o.Pipeline.stats with
+  | Pipeline.Unifiable_stats s ->
+      Alcotest.(check bool)
+        "did migrations" true
+        (s.Grip.Unifiable.migrations > 0)
+  | _ -> Alcotest.fail "expected Unifiable stats");
+  Alcotest.(check bool) "budget not exhausted" false o.Pipeline.fuel_exhausted
+
+let test_unifiable_fuel_exhausted () =
+  let o =
+    Pipeline.run Workloads.Paper_examples.abc ~machine:Machine.unlimited
+      ~method_:Pipeline.Unifiable ~horizon:4 ~max_migrations:1
+  in
+  Alcotest.(check bool) "budget exhausted" true o.Pipeline.fuel_exhausted
+
+(* -- rpo cache (per-program-version caching in schedule_node) -------------- *)
+
+let test_rpo_cache_effective () =
+  let m = Metrics.create () in
+  let obs = Obs.make ~metrics:m () in
+  ignore
+    (Pipeline.run ~obs (kernel "LL1") ~machine:(Machine.homogeneous 2)
+       ~method_:Pipeline.Grip);
+  let saved = Metrics.counter m "scheduler.rpo_rebuilds_saved" in
+  let rebuilt = Metrics.counter m "scheduler.rpo_rebuilds" in
+  Alcotest.(check bool) "cache hits happen" true (saved > 0);
+  Alcotest.(check bool) "cache invalidates on mutation" true (rebuilt > 1)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_metrics_counters;
+          Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+          Alcotest.test_case "json dump" `Quick test_metrics_json;
+        ] );
+      ("replay", replay_cases);
+      ( "sinks",
+        [
+          Alcotest.test_case "null sink purity" `Quick test_null_sink_purity;
+          Alcotest.test_case "chrome JSON valid" `Quick test_chrome_sink_valid;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "unifiable stats surfaced" `Quick
+            test_unifiable_stats_surfaced;
+          Alcotest.test_case "unifiable fuel exhausted" `Quick
+            test_unifiable_fuel_exhausted;
+          Alcotest.test_case "rpo cache effective" `Quick
+            test_rpo_cache_effective;
+        ] );
+    ]
