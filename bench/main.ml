@@ -15,6 +15,7 @@ module Pipeline = Grip.Pipeline
 module Speedup = Grip.Speedup
 module Convergence = Grip.Convergence
 module Livermore = Workloads.Livermore
+module Pool = Grip_parallel.Pool
 
 let printf = Format.printf
 
@@ -42,7 +43,33 @@ let run_cell (e : Livermore.entry) method_ fu =
   in
   { speedup = m.Speedup.speedup; converged = o.Pipeline.pattern <> None; ok }
 
-let table1 () =
+(* Every (loop, technique, width) cell builds its own [Program.t], so
+   cells are embarrassingly parallel: fan them across the pool, then
+   render strictly in input order — stdout is byte-identical whatever
+   [--jobs] is (worker progress goes to stderr and may interleave). *)
+let table1_cells ~pool ~tag ~cell =
+  let tasks =
+    List.concat_map
+      (fun (e : Livermore.entry) ->
+        List.concat_map
+          (fun fu -> [ (e, Pipeline.Grip, fu); (e, Pipeline.Post, fu) ])
+          fus)
+      Livermore.all
+  in
+  Array.of_list
+    (Pool.map_ordered pool
+       ~f:(fun ((e : Livermore.entry), m, fu) ->
+         Printf.eprintf "[%s] %s %s %dFU...\n%!" tag
+           e.Livermore.kernel.Grip.Kernel.name (Pipeline.method_name m) fu;
+         cell e m fu)
+       tasks)
+
+(* cells.(i) layout of [table1_cells]: loop-major, then FU width, then
+   grip before post. *)
+let cell_index ~entry ~fu_i ~post =
+  (entry * 2 * List.length fus) + (2 * fu_i) + if post then 1 else 0
+
+let table1 ~pool () =
   section "Table 1: observed speed-up (GRiP vs POST, 2/4/8 FUs)";
   printf "%-6s" "Loop";
   List.iter (fun fu -> printf "| %13s " (Printf.sprintf "%d FU's" fu)) fus;
@@ -50,17 +77,17 @@ let table1 () =
   printf "%-6s" "";
   List.iter (fun _ -> printf "| %6s %6s " "GRiP" "POST") fus;
   printf "|@.";
+  let cells = table1_cells ~pool ~tag:"table1" ~cell:run_cell in
   let grip_cols = Array.make 3 [] and post_cols = Array.make 3 [] in
   let seq_w = ref [] in
-  List.iter
-    (fun (e : Livermore.entry) ->
+  List.iteri
+    (fun entry (e : Livermore.entry) ->
       let name = e.Livermore.kernel.Grip.Kernel.name in
-      Format.eprintf "[table1] %s...@." name;
       printf "%-6s" name;
       List.iteri
-        (fun i fu ->
-          let g = run_cell e Pipeline.Grip fu in
-          let p = run_cell e Pipeline.Post fu in
+        (fun i _fu ->
+          let g = cells.(cell_index ~entry ~fu_i:i ~post:false) in
+          let p = cells.(cell_index ~entry ~fu_i:i ~post:true) in
           grip_cols.(i) <- g.speedup :: grip_cols.(i);
           post_cols.(i) <- p.speedup :: post_cols.(i);
           let mark c = if not c.ok then "!" else if not c.converged then "~" else " " in
@@ -355,69 +382,95 @@ let locality () =
 (* Ablations                                                         *)
 (* ---------------------------------------------------------------- *)
 
-let ablation () =
+let ablation ~pool () =
   section "Ablation: gap prevention, copy cost, typed units, redundancy";
   let e = Option.get (Livermore.find "LL1") in
   let kern = e.Livermore.kernel in
   let data = e.Livermore.data in
-  let show name o =
-    let m = Pipeline.measure ~data o in
-    printf "%-38s speedup=%5.2f cpi=%-6s converged=%b@." name m.Speedup.speedup
-      (match o.Pipeline.static_cpi with
-      | Some c -> Printf.sprintf "%.2f" c
-      | None -> "-")
-      (o.Pipeline.pattern <> None)
-  in
   let m8 = Machine.homogeneous 8 in
-  show "LL1/8FU gap prevention ON"
-    (Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip);
-  show "LL1/8FU gap prevention OFF"
-    (Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip_no_gap);
-  show "LL1/8FU free copies"
-    (Pipeline.run kern
-       ~machine:(Machine.homogeneous ~copies_free:true 8)
-       ~method_:Pipeline.Grip);
-  show "LL1/8FU typed 5 ALU + 2 MEM + 1 BR"
-    (Pipeline.run kern
-       ~machine:(Machine.typed ~alu:5 ~mem:2 ~branch:1 ())
-       ~method_:Pipeline.Grip);
-  show "LL1/8FU no redundancy removal"
-    (Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip ~redundancy:false);
-  show "LL1/8FU source-order rank"
-    (Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip
-       ~rank:Grip.Rank.source_order);
-  show "LL1/8FU resource-aware speculation 0.75"
-    (Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip
-       ~speculation:(Grip.Scheduler.Resource_aware 0.75));
-  show "LL1/8FU resource-aware speculation 0.25"
-    (Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip
-       ~speculation:(Grip.Scheduler.Resource_aware 0.25));
+  (* every knob configuration is an independent scheduling run: fan
+     them across the pool and print in input order *)
+  let configs : (string * (unit -> Pipeline.outcome)) list =
+    [
+      ( "LL1/8FU gap prevention ON",
+        fun () -> Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip );
+      ( "LL1/8FU gap prevention OFF",
+        fun () -> Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip_no_gap );
+      ( "LL1/8FU free copies",
+        fun () ->
+          Pipeline.run kern
+            ~machine:(Machine.homogeneous ~copies_free:true 8)
+            ~method_:Pipeline.Grip );
+      ( "LL1/8FU typed 5 ALU + 2 MEM + 1 BR",
+        fun () ->
+          Pipeline.run kern
+            ~machine:(Machine.typed ~alu:5 ~mem:2 ~branch:1 ())
+            ~method_:Pipeline.Grip );
+      ( "LL1/8FU no redundancy removal",
+        fun () ->
+          Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip
+            ~redundancy:false );
+      ( "LL1/8FU source-order rank",
+        fun () ->
+          Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip
+            ~rank:Grip.Rank.source_order );
+      ( "LL1/8FU resource-aware speculation 0.75",
+        fun () ->
+          Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip
+            ~speculation:(Grip.Scheduler.Resource_aware 0.75) );
+      ( "LL1/8FU resource-aware speculation 0.25",
+        fun () ->
+          Pipeline.run kern ~machine:m8 ~method_:Pipeline.Grip
+            ~speculation:(Grip.Scheduler.Resource_aware 0.25) );
+    ]
+  in
+  let shown =
+    Pool.map_ordered pool
+      ~f:(fun (name, run) ->
+        let o = run () in
+        (name, Pipeline.measure ~data o, o.Pipeline.static_cpi,
+         o.Pipeline.pattern <> None))
+      configs
+  in
+  List.iter
+    (fun (name, m, cpi, converged) ->
+      printf "%-38s speedup=%5.2f cpi=%-6s converged=%b@." name
+        m.Speedup.speedup
+        (match cpi with Some c -> Printf.sprintf "%.2f" c | None -> "-")
+        converged)
+    shown;
   (* resource barriers measured across the Livermore set *)
   printf "@.resource-barrier events during GRiP scheduling (section 3.2):@.";
+  let barrier_stats =
+    Pool.map_ordered pool
+      ~f:(fun (e : Livermore.entry) ->
+        let kern = e.Livermore.kernel in
+        let u = Grip.Unwind.build kern ~horizon:12 in
+        let p = u.Grip.Unwind.program in
+        ignore
+          (Vliw_percolation.Redundant.cleanup p
+             ~exit_live:(Grip.Kernel.exit_live kern));
+        let ctx =
+          Vliw_percolation.Ctx.make p ~machine:(Machine.homogeneous 4)
+            ~exit_live:(Grip.Kernel.exit_live kern)
+        in
+        let st =
+          Grip.Scheduler.run
+            {
+              (Grip.Scheduler.default_config ~rank:(Pipeline.default_rank kern)) with
+              Grip.Scheduler.gap_prevention = true;
+            }
+            ctx
+        in
+        (kern.Grip.Kernel.name, st))
+      Livermore.all
+  in
   List.iter
-    (fun (e : Livermore.entry) ->
-      let kern = e.Livermore.kernel in
-      let u = Grip.Unwind.build kern ~horizon:12 in
-      let p = u.Grip.Unwind.program in
-      ignore
-        (Vliw_percolation.Redundant.cleanup p
-           ~exit_live:(Grip.Kernel.exit_live kern));
-      let ctx =
-        Vliw_percolation.Ctx.make p ~machine:(Machine.homogeneous 4)
-          ~exit_live:(Grip.Kernel.exit_live kern)
-      in
-      let st =
-        Grip.Scheduler.run
-          {
-            (Grip.Scheduler.default_config ~rank:(Pipeline.default_rank kern)) with
-            Grip.Scheduler.gap_prevention = true;
-          }
-          ctx
-      in
-      printf "  %-5s barriers=%d suspensions=%d hops=%d@." kern.Grip.Kernel.name
+    (fun (name, (st : Grip.Scheduler.stats)) ->
+      printf "  %-5s barriers=%d suspensions=%d hops=%d@." name
         st.Grip.Scheduler.resource_barrier_events st.Grip.Scheduler.suspensions
         st.Grip.Scheduler.hops)
-    Livermore.all
+    barrier_stats
 
 (* ---------------------------------------------------------------- *)
 (* Machine-readable Table 1 artifact                                 *)
@@ -426,7 +479,7 @@ let ablation () =
 module Json = Grip_obs.Json
 module Obs = Grip_obs
 
-let table1_schema = "grip.bench.table1/1"
+let table1_schema = "grip.bench.table1/2"
 
 (* One (loop, technique, width) measurement with its scheduler stats
    and per-phase wall-clock breakdown — the machine-readable face of a
@@ -452,21 +505,30 @@ let json_cell (e : Livermore.entry) method_ fu horizon =
       ("phase_seconds", Pipeline.phase_seconds_json o.Pipeline.phase_seconds);
     ]
 
-let table1_json ~out ~horizon () =
-  let techniques = [ ("grip", Pipeline.Grip); ("post", Pipeline.Post) ] in
+let table1_json ~pool ~jobs ~out ~horizon () =
+  let t_start = Unix.gettimeofday () in
+  (* each cell carries its own wall seconds so the harness block can
+     report work time (cell_seconds) next to elapsed time
+     (wall_seconds): their ratio is the measured parallel speedup *)
+  let cells =
+    table1_cells ~pool ~tag:"json" ~cell:(fun e m fu ->
+        let t0 = Unix.gettimeofday () in
+        let j = json_cell e m fu horizon in
+        (j, Unix.gettimeofday () -. t0))
+  in
   let loops =
-    List.map
-      (fun (e : Livermore.entry) ->
+    List.mapi
+      (fun entry (e : Livermore.entry) ->
         let name = e.Livermore.kernel.Grip.Kernel.name in
-        Format.eprintf "[json] %s...@." name;
         let per_fu =
-          List.map
-            (fun fu ->
+          List.mapi
+            (fun fu_i fu ->
               ( Printf.sprintf "fu%d" fu,
                 Json.Obj
-                  (List.map
-                     (fun (tname, m) -> (tname, json_cell e m fu horizon))
-                     techniques) ))
+                  [
+                    ("grip", fst cells.(cell_index ~entry ~fu_i ~post:false));
+                    ("post", fst cells.(cell_index ~entry ~fu_i ~post:true));
+                  ] ))
             fus
         in
         let g2, g4, g8 = e.Livermore.paper_grip
@@ -486,6 +548,10 @@ let table1_json ~out ~horizon () =
           @ per_fu))
       Livermore.all
   in
+  let wall_seconds = Unix.gettimeofday () -. t_start in
+  let cell_seconds =
+    Array.fold_left (fun acc (_, dt) -> acc +. dt) 0.0 cells
+  in
   let doc =
     Json.Obj
       [
@@ -493,6 +559,13 @@ let table1_json ~out ~horizon () =
         ("fus", Json.List (List.map Json.int fus));
         ( "horizon",
           match horizon with Some h -> Json.int h | None -> Json.Null );
+        ( "harness",
+          Json.Obj
+            [
+              ("jobs", Json.int jobs);
+              ("wall_seconds", Json.Num wall_seconds);
+              ("cell_seconds", Json.Num cell_seconds);
+            ] );
         ("loops", Json.List loops);
       ]
   in
@@ -500,8 +573,10 @@ let table1_json ~out ~horizon () =
   output_string oc (Json.to_string ~pretty:true doc);
   output_char oc '\n';
   close_out oc;
-  Format.eprintf "[json] wrote %s (%d loops x %d FU configs)@." out
-    (List.length loops) (List.length fus)
+  Format.eprintf
+    "[json] wrote %s (%d loops x %d FU configs; %d jobs, %.2fs wall, %.2fs \
+     cells)@."
+    out (List.length loops) (List.length fus) jobs wall_seconds cell_seconds
 
 (* Structural check of a Table 1 artifact: schema tag, one entry per
    Livermore loop, and a grip+post cell (with speedup and stats) for
@@ -531,6 +606,14 @@ let json_validate file =
   | Some s when s = table1_schema -> ()
   | Some s -> fail "unexpected schema %S (want %S)" s table1_schema
   | None -> fail "missing schema tag");
+  (match Json.member "harness" doc with
+  | None -> fail "missing harness block"
+  | Some h ->
+      List.iter
+        (fun field ->
+          if Option.bind (Json.member field h) Json.to_float = None then
+            fail "harness: missing numeric %s" field)
+        [ "jobs"; "wall_seconds"; "cell_seconds" ]);
   let loops =
     match Option.bind (Json.member "loops" doc) Json.to_list with
     | Some l -> l
@@ -574,15 +657,15 @@ let json_validate file =
 
 (* ---------------------------------------------------------------- *)
 
-let all () =
-  table1 ();
+let all ~pool () =
+  table1 ~pool ();
   fig5_6 ();
   fig8 ();
   fig9_13 ();
   fig11 ();
   micro ();
   locality ();
-  ablation ()
+  ablation ~pool ()
 
 (* [json] option parsing: --out FILE (default BENCH_table1.json) and
    --horizon N (cap the unwinding so smoke runs stay cheap). *)
@@ -602,34 +685,52 @@ let rec parse_json_opts ~out ~horizon = function
       Format.eprintf "json: unknown option %S@." other;
       exit 2
 
+(* [--jobs N] is global: strip it from argv wherever it appears.
+   Default: one domain per recommended core. *)
+let rec extract_jobs acc jobs = function
+  | [] -> (List.rev acc, jobs)
+  | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> extract_jobs acc (Some j) rest
+      | _ ->
+          Format.eprintf "--jobs expects a positive integer@.";
+          exit 2)
+  | [ "--jobs" ] ->
+      Format.eprintf "--jobs expects a positive integer@.";
+      exit 2
+  | arg :: rest -> extract_jobs (arg :: acc) jobs rest
+
 let () =
-  match Array.to_list Sys.argv with
-  | _ :: "json" :: rest ->
+  let args, jobs_opt = extract_jobs [] None (List.tl (Array.to_list Sys.argv)) in
+  let jobs =
+    match jobs_opt with
+    | Some j -> j
+    | None -> Domain.recommended_domain_count ()
+  in
+  match args with
+  | "json" :: rest ->
       let out, horizon =
         parse_json_opts ~out:"BENCH_table1.json" ~horizon:None rest
       in
-      table1_json ~out ~horizon ()
-  | _ :: "json-validate" :: file :: _ -> json_validate file
-  | _ :: "json-validate" :: [] ->
+      Pool.with_pool ~jobs (fun pool -> table1_json ~pool ~jobs ~out ~horizon ())
+  | "json-validate" :: file :: _ -> json_validate file
+  | "json-validate" :: [] ->
       Format.eprintf "json-validate: expected a file argument@.";
       exit 2
   | argv ->
-  let jobs =
-    match argv with
-    | _ :: (_ :: _ as rest) -> rest
-    | _ -> [ "all" ]
-  in
-  List.iter
-    (fun job ->
-      match job with
-      | "all" -> all ()
-      | "table1" -> table1 ()
-      | "fig5" | "fig6" -> fig5_6 ()
-      | "fig8" -> fig8 ()
-      | "fig9" | "fig13" -> fig9_13 ()
-      | "fig11" -> fig11 ()
-      | "micro" -> micro ()
-      | "locality" -> locality ()
-      | "ablation" -> ablation ()
-      | other -> Format.eprintf "unknown job %S@." other)
-    jobs
+      let sections = match argv with [] -> [ "all" ] | rest -> rest in
+      Pool.with_pool ~jobs (fun pool ->
+          List.iter
+            (fun job ->
+              match job with
+              | "all" -> all ~pool ()
+              | "table1" -> table1 ~pool ()
+              | "fig5" | "fig6" -> fig5_6 ()
+              | "fig8" -> fig8 ()
+              | "fig9" | "fig13" -> fig9_13 ()
+              | "fig11" -> fig11 ()
+              | "micro" -> micro ()
+              | "locality" -> locality ()
+              | "ablation" -> ablation ~pool ()
+              | other -> Format.eprintf "unknown job %S@." other)
+            sections)

@@ -15,6 +15,7 @@ module Guard = Grip_robust.Guard
 module Obs = Grip_obs
 module Trace = Grip_obs.Trace
 module Metrics = Grip_obs.Metrics
+module Pool = Grip_parallel.Pool
 
 (* Read a whole file, closing the channel on any failure and carrying
    [Sys_error] as a structured Io error instead of an uncaught
@@ -76,6 +77,22 @@ let resolve name =
 let kernel_arg =
   let doc = "Kernel: LL1..LL14, abc, abcdefg, or a minic source file." in
   Arg.(required & pos 0 (some string) None & info [] ~docv:"KERNEL" ~doc)
+
+let kernels_arg =
+  let doc =
+    "Kernels: LL1..LL14, abc, abcdefg, or minic source files.  More than one \
+     may be given; with --jobs they are scheduled in parallel and reported in \
+     argument order."
+  in
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"KERNEL" ~doc)
+
+let jobs_arg =
+  let doc =
+    "Scheduling domains for multi-kernel batches (default 1: everything on \
+     the calling domain).  Reports are printed in argument order and are \
+     byte-identical whatever $(docv) is."
+  in
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
 let fus_arg =
   let doc = "Number of homogeneous functional units." in
@@ -142,32 +159,34 @@ let show_table_arg =
   in
   Arg.(value & flag & info [ "show-table" ] ~doc)
 
-(* Build the observability handle for the requested flags; returns the
-   handle and a finaliser that writes the trace file / prints metrics. *)
-let obs_of_flags ~trace_file ~metrics =
-  let chrome_buf = Buffer.create 4096 in
-  let tracer =
-    match trace_file with Some _ -> Trace.chrome chrome_buf | None -> Trace.null
+(* Per-kernel observability: every task of a schedule batch gets a
+   private handle — a ring tracer when --trace is on, a fresh metrics
+   registry when --metrics is on — so worker domains never share a
+   sink.  After the join the registries merge into one report and the
+   rings concatenate (timestamp-ordered) into one trace file. *)
+let make_obs ~want_trace ~want_metrics =
+  let ring, tracer =
+    if want_trace then
+      let r, t = Trace.ring () in
+      (Some r, t)
+    else (None, Trace.null)
   in
-  let registry = if metrics then Metrics.create () else Metrics.disabled in
-  let obs = Obs.make ~trace:tracer ~metrics:registry () in
-  let finish () =
-    (match trace_file with
-    | Some path -> (
-        Trace.flush tracer;
-        match
-          let oc = open_out path in
-          Fun.protect
-            ~finally:(fun () -> close_out_noerr oc)
-            (fun () -> Buffer.output_buffer oc chrome_buf)
-        with
-        | () -> Format.eprintf "grip: trace written to %s@." path
-        | exception Sys_error m ->
-            die (Grip_error.make Grip_error.Io (Grip_error.Io_failure m)))
-    | None -> ());
-    if metrics then Format.printf "-- metrics --@.%a" Metrics.pp registry
-  in
-  (obs, finish)
+  let registry = if want_metrics then Metrics.create () else Metrics.disabled in
+  (Obs.make ~trace:tracer ~metrics:registry (), ring, registry)
+
+let write_trace path rings =
+  let events = Trace.merge_events (List.map Trace.ring_events rings) in
+  match
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Trace.chrome_string events);
+        output_char oc '\n')
+  with
+  | () -> Format.eprintf "grip: trace written to %s@." path
+  | exception Sys_error m ->
+      die (Grip_error.make Grip_error.Io (Grip_error.Io_failure m))
 
 (* -- compile ------------------------------------------------------------- *)
 
@@ -201,9 +220,9 @@ let compile_cmd =
 
 (* -- schedule ------------------------------------------------------------ *)
 
-let print_occupancy kern machine (pattern : Grip.Convergence.pattern option)
-    program =
-  Format.printf "%s@."
+let print_occupancy_on ppf kern machine
+    (pattern : Grip.Convergence.pattern option) program =
+  Format.fprintf ppf "%s@."
     (Grip.Schedule_table.occupancy
        ~jump_pos:(List.length kern.Grip.Kernel.body)
        ?window:
@@ -215,92 +234,141 @@ let print_occupancy kern machine (pattern : Grip.Convergence.pattern option)
        ~machine program)
 
 (* Legacy unguarded path, kept for the Unifiable baseline (not a ladder
-   rung). *)
-let schedule_unifiable ~obs kern data machine horizon table show_table =
+   rung).  Renders into [ppf]; an oracle mismatch raises the structured
+   error instead of exiting, so batch mode reports it uniformly. *)
+let schedule_unifiable ~obs ppf kern data machine horizon table show_table =
   let o =
     Pipeline.run ~obs kern ~machine ~method_:Pipeline.Unifiable ?horizon
   in
   if table then
-    Format.printf "%s@."
+    Format.fprintf ppf "%s@."
       (Grip.Schedule_table.render
          ~jump_pos:(List.length kern.Grip.Kernel.body)
          o.Pipeline.program);
   if show_table then
-    print_occupancy kern machine o.Pipeline.pattern o.Pipeline.program;
+    print_occupancy_on ppf kern machine o.Pipeline.pattern o.Pipeline.program;
   let m = Pipeline.measure ~obs ~data o in
-  Format.printf "%s on %a with %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
+  Format.fprintf ppf "%s on %a with %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
     kern.Grip.Kernel.name Machine.pp machine
     (Pipeline.method_name Pipeline.Unifiable)
     m.Grip.Speedup.speedup m.Grip.Speedup.seq_per_iter
     m.Grip.Speedup.sched_per_iter;
   (match o.Pipeline.pattern with
   | Some p ->
-      Format.printf "converged: %d row(s) per %d iteration(s) from row %d@."
+      Format.fprintf ppf "converged: %d row(s) per %d iteration(s) from row %d@."
         p.Grip.Convergence.period p.Grip.Convergence.delta
         (p.Grip.Convergence.start + 1)
-  | None -> Format.printf "no repeating pattern@.");
+  | None -> Format.fprintf ppf "no repeating pattern@.");
   (match Pipeline.check ~data o with
-  | Ok _ -> Format.printf "oracle: OK@."
+  | Ok _ -> Format.fprintf ppf "oracle: OK@."
   | Error ms ->
-      Format.eprintf "grip: oracle found %d mismatches@." (List.length ms);
-      exit 1);
-  Format.printf "scheduling time: %.3fs@." o.Pipeline.wall_seconds
+      let first =
+        match ms with
+        | m :: _ -> Format.asprintf "%a" Vliw_sim.Oracle.pp_mismatch m
+        | [] -> "unknown"
+      in
+      Grip_error.raise_ ~kernel:kern.Grip.Kernel.name
+        ~machine:(Format.asprintf "%a" Machine.pp machine)
+        Grip_error.Validation
+        (Grip_error.Oracle_mismatch { count = List.length ms; first }));
+  Format.fprintf ppf "scheduling time: %.3fs@." o.Pipeline.wall_seconds
 
-let schedule_run kernel fus method_ horizon table strictness no_fallback
-    trace_file metrics show_table =
-  match resolve kernel with
-  | Error e -> die e
-  | Ok (kern, data) -> (
-      let machine = machine_of_fus fus in
-      let obs, finish_obs = obs_of_flags ~trace_file ~metrics in
-      Fun.protect ~finally:finish_obs @@ fun () ->
-      match method_ with
-      | Pipeline.Unifiable ->
-          schedule_unifiable ~obs kern data machine horizon table show_table
-      | _ -> (
-          match
-            Pipeline.run_robust ~obs ?horizon ~strictness
-              ~fallback:(not no_fallback) ~data
-              ~start:(Pipeline.rung_of_method method_) kern ~machine
-          with
-          | Error e -> die e
-          | Ok r ->
-              if table then
-                Format.printf "%s@."
-                  (Grip.Schedule_table.render
-                     ~jump_pos:(List.length kern.Grip.Kernel.body)
-                     r.Pipeline.program);
-              if show_table then
-                print_occupancy kern machine r.Pipeline.pattern
-                  r.Pipeline.program;
-              Pipeline.pp_descents Format.std_formatter r.Pipeline.descents;
-              let m = Pipeline.measure_robust ~data r in
-              Format.printf
-                "%s on %a at rung %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
-                kern.Grip.Kernel.name Machine.pp machine
-                (Pipeline.rung_name r.Pipeline.rung)
-                m.Grip.Speedup.speedup m.Grip.Speedup.seq_per_iter
-                m.Grip.Speedup.sched_per_iter;
-              (match r.Pipeline.pattern with
-              | Some p ->
-                  Format.printf
-                    "converged: %d row(s) per %d iteration(s) from row %d@."
-                    p.Grip.Convergence.period p.Grip.Convergence.delta
-                    (p.Grip.Convergence.start + 1)
-              | None ->
-                  Format.printf "no pipeline pattern (rolled-loop rung)@.");
-              Format.printf "oracle: OK@.";
-              Format.printf "scheduling time: %.3fs@." r.Pipeline.wall_seconds))
+(* One kernel through the guarded pipeline, report rendered into
+   [ppf]; failures raise [Grip_error.Error] for the pool to surface. *)
+let schedule_one ~obs ppf (kern, data) machine method_ horizon table strictness
+    no_fallback show_table =
+  match method_ with
+  | Pipeline.Unifiable ->
+      schedule_unifiable ~obs ppf kern data machine horizon table show_table
+  | _ -> (
+      match
+        Pipeline.run_robust ~obs ?horizon ~strictness
+          ~fallback:(not no_fallback) ~data
+          ~start:(Pipeline.rung_of_method method_) kern ~machine
+      with
+      | Error e -> raise (Grip_error.Error e)
+      | Ok r ->
+          if table then
+            Format.fprintf ppf "%s@."
+              (Grip.Schedule_table.render
+                 ~jump_pos:(List.length kern.Grip.Kernel.body)
+                 r.Pipeline.program);
+          if show_table then
+            print_occupancy_on ppf kern machine r.Pipeline.pattern
+              r.Pipeline.program;
+          Pipeline.pp_descents ppf r.Pipeline.descents;
+          let m = Pipeline.measure_robust ~data r in
+          Format.fprintf ppf
+            "%s on %a at rung %s: speedup %.2f (%.2f -> %.2f cycles/iter)@."
+            kern.Grip.Kernel.name Machine.pp machine
+            (Pipeline.rung_name r.Pipeline.rung)
+            m.Grip.Speedup.speedup m.Grip.Speedup.seq_per_iter
+            m.Grip.Speedup.sched_per_iter;
+          (match r.Pipeline.pattern with
+          | Some p ->
+              Format.fprintf ppf
+                "converged: %d row(s) per %d iteration(s) from row %d@."
+                p.Grip.Convergence.period p.Grip.Convergence.delta
+                (p.Grip.Convergence.start + 1)
+          | None -> Format.fprintf ppf "no pipeline pattern (rolled-loop rung)@.");
+          Format.fprintf ppf "oracle: OK@.";
+          Format.fprintf ppf "scheduling time: %.3fs@." r.Pipeline.wall_seconds)
+
+let schedule_run kernels fus method_ horizon table strictness no_fallback
+    trace_file metrics show_table jobs =
+  if jobs < 1 then
+    die
+      (Grip_error.make Grip_error.Io
+         (Grip_error.Message
+            (Printf.sprintf "--jobs must be at least 1 (got %d)" jobs)));
+  let machine = machine_of_fus fus in
+  (* resolve every kernel before spawning anything *)
+  let resolved =
+    List.map
+      (fun name -> match resolve name with Ok r -> Ok r | Error e -> die e)
+      kernels
+    |> List.map Result.get_ok
+  in
+  (* each task: private obs handle, report rendered into a buffer *)
+  let run_one resolved_kernel =
+    let obs, ring, registry =
+      make_obs ~want_trace:(trace_file <> None) ~want_metrics:metrics
+    in
+    let buf = Buffer.create 1024 in
+    let ppf = Format.formatter_of_buffer buf in
+    schedule_one ~obs ppf resolved_kernel machine method_ horizon table
+      strictness no_fallback show_table;
+    Format.pp_print_flush ppf ();
+    (Buffer.contents buf, ring, registry)
+  in
+  match
+    Pool.with_pool ~jobs (fun pool -> Pool.map_ordered pool ~f:run_one resolved)
+  with
+  | exception Grip_error.Error e -> die e
+  | results ->
+      List.iter (fun (report, _, _) -> print_string report) results;
+      if metrics then begin
+        let merged = Metrics.create () in
+        List.iter
+          (fun (_, _, registry) -> Metrics.merge ~into:merged registry)
+          results;
+        Format.printf "-- metrics --@.%a" Metrics.pp merged
+      end;
+      match trace_file with
+      | Some path ->
+          write_trace path (List.filter_map (fun (_, ring, _) -> ring) results)
+      | None -> ()
 
 let schedule_cmd =
   Cmd.v
     (Cmd.info "schedule"
        ~doc:
-         "Pipeline a kernel through the guarded pipeline and report speedup")
+         "Pipeline one or more kernels through the guarded pipeline and \
+          report speedup")
     Term.(
-      const schedule_run $ kernel_arg $ fus_arg $ method_arg $ horizon_arg
+      const schedule_run $ kernels_arg $ fus_arg $ method_arg $ horizon_arg
       $ table_arg $ strictness_arg $ no_fallback_arg $ trace_arg $ metrics_arg
-      $ show_table_arg)
+      $ show_table_arg $ jobs_arg)
 
 (* -- simulate ------------------------------------------------------------ *)
 

@@ -571,6 +571,8 @@ let stats_json = function
           ("rollbacks", Json.int s.Unifiable.rollbacks);
           ("reached", Json.int s.Unifiable.reached);
           ("set_computations", Json.int s.Unifiable.set_computations);
+          ("dom_recomputations", Json.int s.Unifiable.dom_recomputations);
+          ("dom_reuses", Json.int s.Unifiable.dom_reuses);
         ]
 
 let phase_seconds_json ps =

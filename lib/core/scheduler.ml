@@ -278,10 +278,27 @@ let run ?on_move (config : config) (ctx : Ctx.t) =
   let p = ctx.Ctx.program in
   let stats = fresh_stats () in
   let scheduled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
-  let next () =
-    List.find_opt
-      (fun id -> (not (Program.is_exit p id)) && not (Hashtbl.mem scheduled id))
-      (Program.rpo p)
+  (* Worklist cursor over the reverse-postorder listing: consecutive
+     calls resume from the remainder instead of rescanning (and
+     re-deriving) the full RPO for every scheduled node — the
+     scheduled set only grows, so the consumed prefix stays
+     skippable.  Only a program-version change (splits, arm copies
+     made during scheduling) forces a fresh RPO walk, which also
+     re-offers any node created above the cursor. *)
+  let cursor = ref (Program.version p, Program.rpo p) in
+  let rec next () =
+    let v = Program.version p in
+    let v', rest = !cursor in
+    let rest = if v' = v then rest else Program.rpo p in
+    match rest with
+    | [] ->
+        cursor := (v, []);
+        None
+    | id :: tl ->
+        cursor := (v, tl);
+        if (not (Program.is_exit p id)) && not (Hashtbl.mem scheduled id) then
+          Some id
+        else next ()
   in
   let rec loop () =
     match next () with

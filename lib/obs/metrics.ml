@@ -113,6 +113,46 @@ let add_time t name dt =
 let time t name =
   match Hashtbl.find_opt t.times name with Some r -> !r | None -> 0.0
 
+(* -- merge ---------------------------------------------------------------- *)
+
+(** [merge ~into src] — fold [src] into [into]: counters and times
+    add, histograms combine bucket-wise.  Commutative and associative
+    (up to the registry's sorted rendering), so per-domain registries
+    from a parallel run collapse into one coherent report in any join
+    order.  Histograms recorded under the same name must share bucket
+    bounds (they do when both sides ran the same instrumented code);
+    mismatched bounds raise [Invalid_argument].  Merging from or into
+    a disabled registry is a no-op. *)
+let merge ~into src =
+  if into.enabled && src.enabled then begin
+    Hashtbl.iter (fun name r -> add into name !r) src.counters;
+    Hashtbl.iter (fun name r -> add_time into name !r) src.times;
+    Hashtbl.iter
+      (fun name (h : hist) ->
+        match Hashtbl.find_opt into.hists name with
+        | None ->
+            Hashtbl.replace into.hists name
+              {
+                bounds = h.bounds;
+                counts = Array.copy h.counts;
+                n = h.n;
+                sum = h.sum;
+                vmax = h.vmax;
+              }
+        | Some h' when h'.bounds = h.bounds ->
+            Array.iteri
+              (fun i c -> h'.counts.(i) <- h'.counts.(i) + c)
+              h.counts;
+            h'.n <- h'.n + h.n;
+            h'.sum <- h'.sum + h.sum;
+            if h.vmax > h'.vmax then h'.vmax <- h.vmax
+        | Some _ ->
+            invalid_arg
+              (Printf.sprintf "Metrics.merge: histogram %S bounds mismatch"
+                 name))
+      src.hists
+  end
+
 (* -- dumps ---------------------------------------------------------------- *)
 
 let sorted_keys tbl =

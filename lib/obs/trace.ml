@@ -216,6 +216,17 @@ let chrome buf =
   in
   { enabled = true; sink = { emit; flush }; t0 }
 
+(** [merge_events buffers] — concatenate per-domain event buffers
+    (e.g. one {!ring_events} listing per worker of a parallel run)
+    into a single timeline ordered by absolute timestamp.  The sort is
+    stable, so events with equal timestamps keep the order of
+    [buffers]; span begin/end pairs emitted on one domain stay
+    correctly nested because each domain's clock is monotone. *)
+let merge_events buffers =
+  List.stable_sort
+    (fun ((a : float), _) ((b : float), _) -> compare a b)
+    (List.concat buffers)
+
 (** [chrome_string events] — render already-collected (absolute
     timestamp, event) pairs, e.g. from a ring buffer, as a complete
     Chrome trace JSON document. *)

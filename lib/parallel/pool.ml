@@ -1,0 +1,203 @@
+(** Fixed-size domain pool with deterministic, order-preserving
+    fan-out (OCaml 5 [Domain]/[Mutex]/[Condition]; no dependencies
+    beyond the stdlib).
+
+    A {!t} owns [jobs - 1] worker domains that sleep between batches;
+    {!map_ordered} installs a batch of independent tasks, lets every
+    domain — the submitting one included — claim tasks from a shared
+    work-list, and returns the results in input order once the batch
+    drains.  The contract the evaluation harness relies on:
+
+    - {b determinism} — results come back positionally, so any
+      computation whose tasks are pure functions of their input
+      produces the same output whatever [jobs] is.  [~jobs:1] runs
+      every task inline on the calling domain (no worker is ever
+      spawned), which is the reference behaviour the parallel runs
+      must be byte-identical to.
+    - {b structured failure} — a task that raises does not tear down
+      the pool: the exception is captured per-task and, after the
+      batch joins, the {e lowest-index} failure is re-raised as a
+      {!Grip_error.Error} ([Grip_error.Error] payloads pass through
+      untouched; anything else is wrapped under the [Parallel] stage).
+      Lowest-index, not first-to-fail, so the error surfaced is also
+      independent of scheduling order.
+    - {b isolation} — tasks must not share mutable state; each
+      Table-1 cell builds its own [Program.t] and gets its own
+      [Grip_obs] handle, merged after the join
+      ([Grip_obs.Metrics.merge], [Grip_obs.Trace.merge_events]).
+
+    [map_ordered] may only be called from the domain that created the
+    pool, and never from inside a task (the worklist is one batch
+    deep). *)
+
+module Grip_error = Grip_robust.Grip_error
+
+type t = {
+  jobs : int;
+  mutex : Mutex.t;
+  have_work : Condition.t;  (** workers sleep here between batches *)
+  batch_done : Condition.t;  (** the submitter sleeps here during one *)
+  mutable tasks : (unit -> unit) array;  (** current batch; [ [||] ] idle *)
+  mutable next : int;  (** next unclaimed task index *)
+  mutable pending : int;  (** claimed-or-unclaimed tasks still running *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.jobs
+
+(* Claim the next unclaimed task, or [None] when the batch is drained.
+   Caller must hold the mutex. *)
+let claim t =
+  if t.next < Array.length t.tasks then begin
+    let i = t.next in
+    t.next <- t.next + 1;
+    Some t.tasks.(i)
+  end
+  else None
+
+(* Run one claimed task and account for its completion.  Tasks store
+   their own result/exception, so [task ()] never raises. *)
+let finish_one t task =
+  task ();
+  Mutex.lock t.mutex;
+  t.pending <- t.pending - 1;
+  if t.pending = 0 then Condition.broadcast t.batch_done;
+  Mutex.unlock t.mutex
+
+let rec worker t =
+  Mutex.lock t.mutex;
+  let rec wait () =
+    if t.stop then None
+    else
+      match claim t with
+      | Some task -> Some task
+      | None ->
+          Condition.wait t.have_work t.mutex;
+          wait ()
+  in
+  let task = wait () in
+  Mutex.unlock t.mutex;
+  match task with
+  | None -> ()
+  | Some task ->
+      finish_one t task;
+      worker t
+
+(** [create ?jobs ()] — a pool of [jobs] domains (the creating domain
+    counts as one; [jobs - 1] are spawned).  Default:
+    [Domain.recommended_domain_count ()].  Values below 1 are clamped
+    to 1. *)
+let create ?jobs () =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Domain.recommended_domain_count ()
+  in
+  let t =
+    {
+      jobs;
+      mutex = Mutex.create ();
+      have_work = Condition.create ();
+      batch_done = Condition.create ();
+      tasks = [||];
+      next = 0;
+      pending = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  if jobs > 1 then
+    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+(** [shutdown t] — wake and join every worker.  Idempotent; the pool
+    must be idle (no batch in flight). *)
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.have_work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let wrap_exn i = function
+  | Grip_error.Error e -> e
+  | exn ->
+      Grip_error.make Grip_error.Parallel
+        (Grip_error.Message
+           (Printf.sprintf "task %d: %s" i (Printexc.to_string exn)))
+
+(* Surface the lowest-index failure of a completed batch, or the
+   results in input order. *)
+let collect results =
+  let n = Array.length results in
+  let rec first_error i =
+    if i >= n then None
+    else
+      match results.(i) with
+      | Ok _ -> first_error (i + 1)
+      | Error e -> Some e
+  in
+  match first_error 0 with
+  | Some e -> raise (Grip_error.Error e)
+  | None ->
+      List.map
+        (function Ok v -> v | Error _ -> assert false)
+        (Array.to_list results)
+
+(** [map_ordered t ~f items] — apply [f] to every item, fanning the
+    applications across the pool's domains, and return the results in
+    the order of [items].  Raises {!Grip_error.Error} carrying the
+    lowest-index task failure, if any. *)
+let map_ordered t ~f items =
+  let arr = Array.of_list items in
+  let n = Array.length arr in
+  if n = 0 then []
+  else if t.jobs = 1 || n = 1 then
+    (* inline on the calling domain; same failure contract *)
+    collect
+      (Array.mapi
+         (fun i x -> match f x with v -> Ok v | exception e -> Error (wrap_exn i e))
+         arr)
+  else begin
+    let results = Array.make n (Error (wrap_exn 0 Exit)) in
+    let tasks =
+      Array.mapi
+        (fun i x () ->
+          results.(i) <-
+            (match f x with v -> Ok v | exception e -> Error (wrap_exn i e)))
+        arr
+    in
+    Mutex.lock t.mutex;
+    t.tasks <- tasks;
+    t.next <- 0;
+    t.pending <- n;
+    Condition.broadcast t.have_work;
+    Mutex.unlock t.mutex;
+    (* the submitting domain works the same queue *)
+    let rec help () =
+      Mutex.lock t.mutex;
+      let task = claim t in
+      Mutex.unlock t.mutex;
+      match task with
+      | Some task ->
+          finish_one t task;
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.batch_done t.mutex
+    done;
+    t.tasks <- [||];
+    t.next <- 0;
+    Mutex.unlock t.mutex;
+    collect results
+  end
+
+(** [with_pool ?jobs f] — create, use and shut down a pool. *)
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

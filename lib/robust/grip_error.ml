@@ -18,6 +18,7 @@ type stage =
   | Convergence
   | Validation  (** a post-stage guard: well-formedness / resources / oracle *)
   | Io  (** file handling in the drivers *)
+  | Parallel  (** a worker task of the domain pool failed *)
 
 let stage_name = function
   | Frontend s -> s
@@ -27,6 +28,7 @@ let stage_name = function
   | Convergence -> "convergence"
   | Validation -> "validation"
   | Io -> "io"
+  | Parallel -> "parallel"
 
 type cause =
   | Fuel_exhausted of { migrations : int; budget : int }

@@ -103,6 +103,66 @@ let test_metrics_json () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "metrics dump unparseable: %s" e
 
+(* -- Metrics.merge laws --------------------------------------------------- *)
+
+(* Distinct per-seed registries with overlapping and disjoint names.
+   Times use power-of-two fractions so float addition is exact and the
+   associativity check is not at the mercy of rounding. *)
+let sample_registry seed =
+  let m = Metrics.create () in
+  Metrics.add m "shared" seed;
+  Metrics.incr m (Printf.sprintf "only.%d" seed);
+  Metrics.add_time m "t.shared" (0.25 *. float_of_int seed);
+  Metrics.add_time m (Printf.sprintf "t.%d" seed) 0.5;
+  List.iter
+    (fun v -> Metrics.observe m ~bounds:[| 0; 1; 2; 4 |] "h" v)
+    [ seed; seed * 2; 7 ];
+  m
+
+let dump m = Json.to_string ~pretty:true (Metrics.to_json m)
+
+(* [merged rs] — a fresh registry with [rs] folded in left to right. *)
+let merged rs =
+  let m = Metrics.create () in
+  List.iter (fun r -> Metrics.merge ~into:m r) rs;
+  m
+
+let test_metrics_merge_commutative () =
+  let a = sample_registry 1 and b = sample_registry 2 in
+  Alcotest.(check string) "a+b = b+a" (dump (merged [ a; b ])) (dump (merged [ b; a ]));
+  (* and the combination is an actual sum, not a replacement *)
+  let ab = merged [ a; b ] in
+  Alcotest.(check int) "counters add" 3 (Metrics.counter ab "shared");
+  Alcotest.(check (float 1e-12)) "times add" 0.75 (Metrics.time ab "t.shared");
+  match Metrics.histogram ab "h" with
+  | None -> Alcotest.fail "merged histogram missing"
+  | Some h ->
+      Alcotest.(check int) "hist n adds" 6 h.Metrics.n;
+      Alcotest.(check int) "hist max" 7 h.Metrics.vmax
+
+let test_metrics_merge_associative () =
+  let a = sample_registry 1 and b = sample_registry 2 and c = sample_registry 3 in
+  Alcotest.(check string) "(a+b)+c = a+(b+c)"
+    (dump (merged [ merged [ a; b ]; c ]))
+    (dump (merged [ a; merged [ b; c ] ]))
+
+let test_metrics_merge_bounds_mismatch () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.observe a ~bounds:[| 0; 1 |] "h" 1;
+  Metrics.observe b ~bounds:[| 0; 2 |] "h" 1;
+  match Metrics.merge ~into:a b with
+  | () -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_metrics_merge_disabled () =
+  let a = sample_registry 1 in
+  let before = dump a in
+  Metrics.merge ~into:a Metrics.disabled;
+  Alcotest.(check string) "disabled source is a no-op" before (dump a);
+  Metrics.merge ~into:Metrics.disabled a;
+  Alcotest.(check int) "disabled sink records nothing" 0
+    (Metrics.counter Metrics.disabled "shared")
+
 (* -- trace replay invariant ----------------------------------------------- *)
 
 (* Events recorded between the Schedule span's begin and end. *)
@@ -120,7 +180,7 @@ let schedule_events events =
 
 type replay = { attempts : int; hops : int; suspends : int; barriers : int }
 
-let replay_of events =
+let tally events =
   List.fold_left
     (fun r (_, ev) ->
       match ev with
@@ -130,7 +190,9 @@ let replay_of events =
       | Trace.Migrate_barrier _ -> { r with barriers = r.barriers + 1 }
       | _ -> r)
     { attempts = 0; hops = 0; suspends = 0; barriers = 0 }
-    (schedule_events events)
+    events
+
+let replay_of events = tally (schedule_events events)
 
 (* Scheduling a kernel while recording to a ring buffer, then replaying
    the migration events, must reconstruct the scheduler's own counters:
@@ -175,6 +237,50 @@ let replay_cases =
             [ Pipeline.Grip; Pipeline.Grip_no_gap; Pipeline.Post ])
         [ 2; 4 ])
     [ "LL1"; "LL5" ]
+
+(* -- merged-trace replay (the parallel-harness invariant) ------------------ *)
+
+(* Each task of a parallel batch records into a private ring buffer;
+   the harness concatenates and time-sorts them.  The merged timeline
+   must still be a lossless account: tallying every migration event in
+   it reconstructs the sum of the individual schedulers' counters. *)
+let test_merged_trace_replay () =
+  let run name =
+    let ring, tracer = Trace.ring () in
+    let obs = Obs.make ~trace:tracer () in
+    let o =
+      Pipeline.run ~obs (kernel name) ~machine:(Machine.homogeneous 2)
+        ~method_:Pipeline.Grip
+    in
+    Alcotest.(check int) "ring did not overflow" 0 (Trace.ring_dropped ring);
+    match o.Pipeline.stats with
+    | Pipeline.Grip_stats s -> (Trace.ring_events ring, s)
+    | _ -> Alcotest.fail "expected Grip stats"
+  in
+  let e1, s1 = run "LL1" in
+  let e2, s2 = run "LL5" in
+  let merged = Trace.merge_events [ e1; e2 ] in
+  Alcotest.(check int)
+    "merge loses nothing"
+    (List.length e1 + List.length e2)
+    (List.length merged);
+  let rec sorted = function
+    | (a, _) :: ((b, _) :: _ as rest) -> a <= b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "merged timeline is time-ordered" true (sorted merged);
+  let r = tally merged in
+  let sum f = f s1 + f s2 in
+  Alcotest.(check int) "migrations"
+    (sum (fun s -> s.Scheduler.migrations))
+    r.attempts;
+  Alcotest.(check int) "hops" (sum (fun s -> s.Scheduler.hops)) r.hops;
+  Alcotest.(check int) "suspensions"
+    (sum (fun s -> s.Scheduler.suspensions))
+    r.suspends;
+  Alcotest.(check int) "barriers"
+    (sum (fun s -> s.Scheduler.resource_barrier_events))
+    r.barriers
 
 (* -- null sink changes nothing -------------------------------------------- *)
 
@@ -263,6 +369,25 @@ let test_rpo_cache_effective () =
   Alcotest.(check bool) "cache hits happen" true (saved > 0);
   Alcotest.(check bool) "cache invalidates on mutation" true (rebuilt > 1)
 
+(* The dominator cache in Unifiable.set: one real [Dom.compute] per
+   program-version change, every other set computation served from the
+   per-context cache. *)
+let test_dom_cache_effective () =
+  let o =
+    Pipeline.run Workloads.Paper_examples.abc ~machine:Machine.unlimited
+      ~method_:Pipeline.Unifiable ~horizon:4
+  in
+  match o.Pipeline.stats with
+  | Pipeline.Unifiable_stats s ->
+      Alcotest.(check int)
+        "every set computation accounted for"
+        s.Grip.Unifiable.set_computations
+        (s.Grip.Unifiable.dom_recomputations + s.Grip.Unifiable.dom_reuses);
+      Alcotest.(check bool)
+        "cache serves repeat queries" true
+        (s.Grip.Unifiable.dom_reuses > 0)
+  | _ -> Alcotest.fail "expected Unifiable stats"
+
 let () =
   Alcotest.run "obs"
     [
@@ -277,8 +402,21 @@ let () =
           Alcotest.test_case "counters" `Quick test_metrics_counters;
           Alcotest.test_case "histogram" `Quick test_metrics_histogram;
           Alcotest.test_case "json dump" `Quick test_metrics_json;
+          Alcotest.test_case "merge commutative" `Quick
+            test_metrics_merge_commutative;
+          Alcotest.test_case "merge associative" `Quick
+            test_metrics_merge_associative;
+          Alcotest.test_case "merge bounds mismatch" `Quick
+            test_metrics_merge_bounds_mismatch;
+          Alcotest.test_case "merge disabled" `Quick
+            test_metrics_merge_disabled;
         ] );
       ("replay", replay_cases);
+      ( "merged-trace",
+        [
+          Alcotest.test_case "merged replay reconstructs counters" `Slow
+            test_merged_trace_replay;
+        ] );
       ( "sinks",
         [
           Alcotest.test_case "null sink purity" `Quick test_null_sink_purity;
@@ -292,5 +430,7 @@ let () =
             test_unifiable_fuel_exhausted;
           Alcotest.test_case "rpo cache effective" `Quick
             test_rpo_cache_effective;
+          Alcotest.test_case "dom cache effective" `Quick
+            test_dom_cache_effective;
         ] );
     ]
