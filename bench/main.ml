@@ -479,14 +479,19 @@ let ablation ~pool () =
 module Json = Grip_obs.Json
 module Obs = Grip_obs
 
-let table1_schema = "grip.bench.table1/2"
+let table1_schema = "grip.bench.table1/3"
 
-(* One (loop, technique, width) measurement with its scheduler stats
-   and per-phase wall-clock breakdown — the machine-readable face of a
-   Table 1 cell. *)
+(* One (loop, technique, width) measurement with its scheduler stats,
+   per-phase wall-clock breakdown and bottleneck verdict — the
+   machine-readable face of a Table 1 cell.  Each cell runs with its
+   own provenance recorder so the bottleneck block's totals are the
+   journal-derived ones (equal to the Metrics counters by the replay
+   invariant). *)
 let json_cell (e : Livermore.entry) method_ fu horizon =
   let machine = Machine.homogeneous fu in
-  let o = Pipeline.run e.Livermore.kernel ~machine ~method_ ?horizon in
+  let prov = Obs.Provenance.create () in
+  let obs = Obs.make ~prov () in
+  let o = Pipeline.run ~obs e.Livermore.kernel ~machine ~method_ ?horizon in
   let m = Pipeline.measure ~data:e.Livermore.data o in
   let ok =
     match Pipeline.check ~data:e.Livermore.data o with
@@ -503,6 +508,8 @@ let json_cell (e : Livermore.entry) method_ fu horizon =
       ("oracle_ok", Json.Bool ok);
       ("stats", Pipeline.stats_json o.Pipeline.stats);
       ("phase_seconds", Pipeline.phase_seconds_json o.Pipeline.phase_seconds);
+      ( "bottleneck",
+        Obs.Bottleneck.to_json (Grip.Explain.report ~prov o) );
     ]
 
 let table1_json ~pool ~jobs ~out ~horizon () =
@@ -646,9 +653,28 @@ let json_validate file =
                   (match Json.member "stats" c with
                   | Some (Json.Obj _) -> ()
                   | _ -> fail "%s/fu%d/%s: missing stats" name fu tech);
-                  match Json.member "phase_seconds" c with
+                  (match Json.member "phase_seconds" c with
                   | Some (Json.Obj _) -> ()
-                  | _ -> fail "%s/fu%d/%s: missing phase_seconds" name fu tech)
+                  | _ -> fail "%s/fu%d/%s: missing phase_seconds" name fu tech);
+                  match Json.member "bottleneck" c with
+                  | Some b ->
+                      (match Option.bind (Json.member "verdict" b) Json.to_str with
+                      | Some
+                          ("dep_bound" | "resource_bound" | "scheduler_bound")
+                        -> ()
+                      | Some v ->
+                          fail "%s/fu%d/%s: unknown verdict %S" name fu tech v
+                      | None ->
+                          fail "%s/fu%d/%s: bottleneck without verdict" name fu
+                            tech);
+                      List.iter
+                        (fun field ->
+                          if Option.bind (Json.member field b) Json.to_float = None
+                          then
+                            fail "%s/fu%d/%s: bottleneck missing numeric %s"
+                              name fu tech field)
+                        [ "rec_mii"; "res_mii"; "suspensions"; "barriers" ]
+                  | None -> fail "%s/fu%d/%s: missing bottleneck" name fu tech)
             [ "grip"; "post" ])
         fus)
     loops;

@@ -181,7 +181,7 @@ let write_trace path rings =
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        output_string oc (Trace.chrome_string events);
+        output_string oc (Trace.chrome_string ~flows:true events);
         output_char oc '\n')
   with
   | () -> Format.eprintf "grip: trace written to %s@." path
@@ -347,16 +347,26 @@ let schedule_run kernels fus method_ horizon table strictness no_fallback
   | exception Grip_error.Error e -> die e
   | results ->
       List.iter (fun (report, _, _) -> print_string report) results;
+      let rings = List.filter_map (fun (_, ring, _) -> ring) results in
+      let dropped =
+        List.fold_left (fun acc r -> acc + Trace.ring_dropped r) 0 rings
+      in
       if metrics then begin
         let merged = Metrics.create () in
         List.iter
           (fun (_, _, registry) -> Metrics.merge ~into:merged registry)
           results;
+        if rings <> [] then Metrics.add merged "trace_events_dropped" dropped;
         Format.printf "-- metrics --@.%a" Metrics.pp merged
       end;
       match trace_file with
       | Some path ->
-          write_trace path (List.filter_map (fun (_, ring, _) -> ring) results)
+          if dropped > 0 then
+            Format.eprintf
+              "grip: warning: the trace ring overwrote %d event(s); %s is \
+               truncated (earliest events lost)@."
+              dropped path;
+          write_trace path rings
       | None -> ()
 
 let schedule_cmd =
@@ -402,6 +412,76 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Execute sequential vs scheduled code")
     Term.(const simulate_run $ kernel_arg $ fus_arg $ n_arg)
 
+(* -- explain -------------------------------------------------------------- *)
+
+let explain_run kernel fus method_ horizon op top =
+  match resolve kernel with
+  | Error e -> die e
+  | Ok (kern, _data) ->
+      let machine = machine_of_fus fus in
+      let prov = Obs.Provenance.create () in
+      let obs = Obs.make ~prov () in
+      let o = Pipeline.run ~obs kern ~machine ~method_ ?horizon in
+      let r = Grip.Explain.report ~prov o in
+      Grip.Explain.render Format.std_formatter ?op ~top ~prov o r
+
+let explain_cmd =
+  let op_arg =
+    let doc = "Also print the full provenance journal of operation $(docv)." in
+    Arg.(value & opt (some int) None & info [ "op" ] ~docv:"ID" ~doc)
+  in
+  let top_arg =
+    let doc = "How many top blocking operations to list." in
+    Arg.(value & opt int 5 & info [ "top" ] ~docv:"K" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:
+         "Schedule a kernel with provenance journals on and report why it \
+          runs at the rate it does: verdict (dep/resource/scheduler-bound), \
+          critical chain, FU pressure and the why-not rejection table")
+    Term.(
+      const explain_run $ kernel_arg $ fus_arg $ method_arg $ horizon_arg
+      $ op_arg $ top_arg)
+
+(* -- bench ---------------------------------------------------------------- *)
+
+let bench_diff_run old_file new_file tolerance =
+  let read f = match read_file f with Ok s -> s | Error e -> die e in
+  let old_ = read old_file and new_ = read new_file in
+  match Obs.Bench_diff.diff ~old_ ~new_ with
+  | Error msg -> die (Grip_error.make Grip_error.Io (Grip_error.Message msg))
+  | Ok r ->
+      Format.printf "%a" (Obs.Bench_diff.pp_result ~tolerance) r;
+      if Obs.Bench_diff.regressions ~tolerance r <> [] then exit 1
+
+let bench_cmd =
+  let old_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"OLD.json" ~doc:"Baseline BENCH_table1.json artifact.")
+  in
+  let new_arg =
+    Arg.(
+      required & pos 1 (some file) None
+      & info [] ~docv:"NEW.json" ~doc:"Candidate BENCH_table1.json artifact.")
+  in
+  let tolerance_arg =
+    let doc =
+      "Maximum allowed GRiP speedup drop before the diff fails (exit 1)."
+    in
+    Arg.(value & opt float 1e-9 & info [ "tolerance" ] ~docv:"T" ~doc)
+  in
+  let diff_cmd =
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two Table 1 bench artifacts cell by cell; exits non-zero \
+            when any GRiP speedup regressed beyond --tolerance")
+      Term.(const bench_diff_run $ old_arg $ new_arg $ tolerance_arg)
+  in
+  Cmd.group (Cmd.info "bench" ~doc:"Bench-artifact utilities") [ diff_cmd ]
+
 (* -- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -420,4 +500,14 @@ let () =
     Cmd.info "grip" ~version:"1.0.0"
       ~doc:"Global Resource-constrained Percolation scheduling for VLIW loops"
   in
-  exit (Cmd.eval (Cmd.group info [ compile_cmd; schedule_cmd; simulate_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            compile_cmd;
+            schedule_cmd;
+            simulate_cmd;
+            explain_cmd;
+            bench_cmd;
+            list_cmd;
+          ]))

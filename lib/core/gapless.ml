@@ -125,3 +125,14 @@ let ok (ctx : Ctx.t) ~from_ ~to_ ~(op : Operation.t) =
       cond1 || cond2 || cond3 () || cond4 ()
     in
     go ~from_ ~op 0
+
+(** [explain ~from_ ~op] — a short human reason for a gap-prevention
+    veto, for provenance journals; meaningful only after {!ok} returned
+    false (all four section 3.3 conditions failed, i.e. [op] is neither
+    alone at [from_], nor sharing it with its iteration, nor last of
+    its iteration, nor backed by a gapless filler). *)
+let explain ~from_ ~(op : Operation.t) =
+  Printf.sprintf
+    "gap prevention: hoisting op%d would leave iteration %d with an unfillable \
+     gap at n%d"
+    op.Operation.id op.Operation.iter from_

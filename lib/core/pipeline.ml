@@ -68,6 +68,18 @@ let ddg_of (k : Kernel.t) =
     [k]. *)
 let default_rank (k : Kernel.t) = Rank.section_3_4 ~ddg:(ddg_of k)
 
+(** [sched_totals stats] — (suspensions, resource barriers) of the
+    winning scheduler, the counter-side of the provenance replay
+    invariant (the Unifiable baseline tracks neither).  POST reports
+    its unconstrained phase 1, where all percolation happens. *)
+let sched_totals = function
+  | Grip_stats (s : Scheduler.stats) ->
+      (s.Scheduler.suspensions, s.Scheduler.resource_barrier_events)
+  | Post_stats (s : Post.stats) ->
+      ( s.Post.phase1.Scheduler.suspensions,
+        s.Post.phase1.Scheduler.resource_barrier_events )
+  | Unifiable_stats _ -> (0, 0)
+
 (* Unifiable's loop stops at its migration budget without marking the
    truncation; reaching the budget is the only observable signal. *)
 let fuel_exhausted_of = function

@@ -75,6 +75,28 @@ let rows (p : Program.t) =
       else Some { node = id; cells })
     (main_path p)
 
+(** [pressures ~machine p] — (used slots, issue width) per
+    internal-path row, the structured backend shared by {!occupancy}
+    and the bottleneck profiler's per-cycle FU pressure.  On an
+    unlimited machine the width reported is the widest row's demand
+    (matching how {!occupancy} draws its bars). *)
+let pressures ~machine (p : Program.t) =
+  let module Machine = Vliw_machine.Machine in
+  let demands =
+    List.map
+      (fun r ->
+        match Program.node_opt p r.node with
+        | Some n -> Machine.slot_demand machine n
+        | None -> 0)
+      (rows p)
+  in
+  let width =
+    if Machine.is_unlimited machine then
+      List.fold_left (fun w d -> max w d) 1 demands
+    else Machine.width machine
+  in
+  List.map (fun d -> (d, width)) demands
+
 (** [occupancy ?window ~machine p] — an ASCII slot-occupancy timeline
     of [p]'s internal path: one line per instruction with a bar of
     [#] (used slots) padded with [.] to the issue width, the
@@ -86,18 +108,9 @@ let rows (p : Program.t) =
     argument is about.  On an unlimited machine the bar is drawn
     against the widest instruction instead of the issue width. *)
 let occupancy ?(jump_pos = -1) ?window ~machine (p : Program.t) =
-  let module Machine = Vliw_machine.Machine in
   let rws = rows p in
-  let demand r =
-    match Program.node_opt p r.node with
-    | Some n -> Machine.slot_demand machine n
-    | None -> 0
-  in
-  let bar_width =
-    if Machine.is_unlimited machine then
-      List.fold_left (fun w r -> max w (demand r)) 1 rws
-    else Machine.width machine
-  in
+  let prs = pressures ~machine p in
+  let bar_width = match prs with [] -> 1 | (_, w) :: _ -> w in
   let in_window ri =
     match window with
     | Some (start, period, _) -> ri >= start && ri < start + period
@@ -108,8 +121,7 @@ let occupancy ?(jump_pos = -1) ?window ~machine (p : Program.t) =
     (Printf.sprintf "%-5s %-*s %7s   ops\n" "row" (bar_width + 2) "occupancy"
        "used");
   List.iteri
-    (fun ri r ->
-      let d = demand r in
+    (fun ri (r, (d, _)) ->
       let used = min d bar_width in
       let bar =
         String.make used '#' ^ String.make (max 0 (bar_width - used)) '.'
@@ -124,7 +136,7 @@ let occupancy ?(jump_pos = -1) ?window ~machine (p : Program.t) =
         (Printf.sprintf "%4d%s [%s] %3d/%-3d   %s\n" (ri + 1)
            (if in_window ri then "|" else " ")
            bar d bar_width ops))
-    rws;
+    (List.combine rws prs);
   (match window with
   | Some (start, period, delta) ->
       Buffer.add_string buf

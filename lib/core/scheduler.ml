@@ -24,8 +24,19 @@ open Vliw_ir
 module Machine = Vliw_machine.Machine
 module Ctx = Vliw_percolation.Ctx
 module Migrate = Vliw_percolation.Migrate
+module Move_op = Vliw_percolation.Move_op
+module Move_cj = Vliw_percolation.Move_cj
 module Trace = Grip_obs.Trace
 module Metrics = Grip_obs.Metrics
+module Provenance = Grip_obs.Provenance
+
+(* Machine FU class -> the observability layer's mirror of it (kept
+   separate so grip_obs does not depend on the machine model). *)
+let prov_class op =
+  match Machine.class_of op with
+  | Machine.Alu -> Provenance.Alu
+  | Machine.Mem -> Provenance.Mem
+  | Machine.Branch -> Provenance.Branch
 
 type stats = {
   mutable nodes_scheduled : int;
@@ -128,6 +139,11 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
   let obs = ctx.Ctx.obs in
   let tr = obs.Grip_obs.trace and mx = obs.Grip_obs.metrics in
   let tracing = Grip_obs.Trace.enabled tr in
+  let pv = obs.Grip_obs.prov in
+  let proving = Provenance.enabled pv in
+  (* why the most recent allow_hop veto happened; read by on_suspend,
+     which Migrate calls synchronously right after the veto *)
+  let suspend_reason = ref "gap prevention" in
   let dom = dominators ctx in
   let initial = moveable_ops p dom n in
   (* ranked queue of op ids; metadata re-fetched from the program *)
@@ -198,6 +214,12 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
     | best :: _ ->
         if stats.migrations >= config.max_migrations then begin
           stats.fuel_exhausted <- true;
+          if proving then
+            Provenance.record_reject pv ~op:best.Operation.id
+              ~node:
+                (Option.value ~default:(-1)
+                   (Program.home p best.Operation.id))
+              Provenance.Fuel;
           continue_ := false
         end
         else begin
@@ -211,22 +233,35 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
             {
               Migrate.allow_hop =
                 (fun ~from_ ~to_ ~op ->
-                  speculation_allows config ctx ~from_ ~to_ ~op
-                  && ((not config.gap_prevention)
-                     || Gapless.ok ctx ~from_ ~to_ ~op));
+                  if not (speculation_allows config ctx ~from_ ~to_ ~op)
+                  then begin
+                    suspend_reason := "speculation policy veto";
+                    false
+                  end
+                  else if
+                    config.gap_prevention
+                    && not (Gapless.ok ctx ~from_ ~to_ ~op)
+                  then begin
+                    suspend_reason :=
+                      (if proving then Gapless.explain ~from_ ~op
+                       else "gap prevention");
+                    false
+                  end
+                  else true);
               Migrate.on_suspend =
                 (fun op ->
                   stats.suspensions <- stats.suspensions + 1;
                   Metrics.incr mx "scheduler.suspensions";
+                  let node =
+                    Option.value ~default:(-1)
+                      (Program.home p op.Operation.id)
+                  in
                   if tracing then
                     Trace.emit tr
-                      (Trace.Migrate_suspend
-                         {
-                           op = op.Operation.id;
-                           node =
-                             Option.value ~default:(-1)
-                               (Program.home p op.Operation.id);
-                         });
+                      (Trace.Migrate_suspend { op = op.Operation.id; node });
+                  if proving then
+                    Provenance.record_reject pv ~op:op.Operation.id ~node
+                      (Provenance.Suspended !suspend_reason);
                   Hashtbl.replace suspended op.Operation.id ());
               Migrate.early_stop =
                 (fun ~moved -> moved > 0 && Hashtbl.length suspended > 0);
@@ -242,8 +277,15 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
             stats.reached <- stats.reached + 1;
             Metrics.incr mx "scheduler.reached"
           end;
+          let stop_node () =
+            Option.value ~default:(-1) (Program.home p r.Migrate.final_id)
+          in
+          let reject reason =
+            Provenance.record_reject pv ~op:r.Migrate.final_id
+              ~node:(stop_node ()) reason
+          in
           (match r.Migrate.last_failure with
-          | Some (Migrate.Op Vliw_percolation.Move_op.No_room) ->
+          | Some (Migrate.Op Move_op.No_room) ->
               (* blocked by a full node short of the target: a resource
                  barrier (section 3.2) *)
               stats.resource_barrier_events <-
@@ -252,13 +294,26 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
               if tracing then
                 Trace.emit tr
                   (Trace.Migrate_barrier
-                     {
-                       op = r.Migrate.final_id;
-                       node =
-                         Option.value ~default:(-1)
-                           (Program.home p r.Migrate.final_id);
-                     })
-          | Some _ | None -> ());
+                     { op = r.Migrate.final_id; node = stop_node () });
+              if proving then
+                reject (Provenance.Resource_barrier (prov_class best))
+          | Some
+              ( Migrate.Op
+                  ( Move_op.True_dependence o
+                  | Move_op.Mem_dependence o )
+              | Migrate.Cj (Move_cj.True_dependence o) ) ->
+              (* the why-not table only charges a dependence when it
+                 actually kept the op short of its target *)
+              if proving && not r.Migrate.reached_target then
+                reject (Provenance.Dep o.Operation.id)
+          | Some Migrate.Suspended | None ->
+              (* suspensions were journalled by on_suspend already *)
+              ()
+          | Some f ->
+              if proving && not r.Migrate.reached_target then
+                reject
+                  (Provenance.Structural
+                     (Format.asprintf "%a" Migrate.pp_failure f)));
           (match on_move with
           | Some f when r.Migrate.moved > 0 -> f ~op:best ~outcome:r
           | Some _ | None -> ());

@@ -17,7 +17,10 @@
 open Vliw_ir
 module Ctx = Vliw_percolation.Ctx
 module Migrate = Vliw_percolation.Migrate
+module Move_op = Vliw_percolation.Move_op
+module Move_cj = Vliw_percolation.Move_cj
 module Ddg = Vliw_analysis.Ddg
+module Provenance = Grip_obs.Provenance
 
 type stats = {
   mutable nodes_scheduled : int;
@@ -120,10 +123,41 @@ let schedule_node ?on_sched ~last_dom_version (config : config) (ctx : Ctx.t)
           stats.reached <- stats.reached + 1;
           match on_sched with Some f -> f ~op:best ~node:n | None -> ()
         end
-        else if r.Migrate.moved > 0 then begin
-          (* fell short: undo, preserving "no compaction below n" *)
-          Program.restore p snap;
-          stats.rollbacks <- stats.rollbacks + 1
+        else begin
+          (* Journal why the attempt fell short.  Hops of a rolled-back
+             walk stay in the journal on purpose: for this baseline the
+             wasted motion IS the story (the cost GRiP's in-place
+             compaction avoids). *)
+          let pv = ctx.Ctx.obs.Grip_obs.prov in
+          if Provenance.enabled pv then begin
+            let reason =
+              match r.Migrate.last_failure with
+              | Some
+                  ( Migrate.Op
+                      ( Move_op.True_dependence o
+                      | Move_op.Mem_dependence o )
+                  | Migrate.Cj (Move_cj.True_dependence o) ) ->
+                  Provenance.Dep o.Operation.id
+              | Some f ->
+                  Provenance.Structural
+                    (Format.asprintf "%a" Migrate.pp_failure f)
+              | None -> Provenance.Structural "short of target"
+            in
+            Provenance.record_reject pv ~op:r.Migrate.final_id
+              ~node:
+                (Option.value ~default:(-1)
+                   (Program.home p r.Migrate.final_id))
+              reason;
+            if r.Migrate.moved > 0 then
+              Provenance.record_reject pv ~op:r.Migrate.final_id
+                ~node:n
+                (Provenance.Structural "rolled back (short of target)")
+          end;
+          if r.Migrate.moved > 0 then begin
+            (* fell short: undo, preserving "no compaction below n" *)
+            Program.restore p snap;
+            stats.rollbacks <- stats.rollbacks + 1
+          end
         end
   done
 

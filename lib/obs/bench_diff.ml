@@ -1,0 +1,129 @@
+(** Diffing two Table 1 bench artifacts (BENCH_table1.json).
+
+    Works at the {!Json} level against any [grip.bench.table1/N] schema
+    with [N >= 1] — the per-cell [speedup] field and the
+    [loops[].name] / [fuW.{grip,post}] layout have been stable since
+    /1, so old artifacts stay comparable across schema bumps.  Cells
+    present on only one side are reported, not treated as regressions
+    (a new loop or FU configuration is not a slowdown). *)
+
+type cell = {
+  loop : string;
+  fu : string;  (** e.g. ["fu4"] *)
+  tech : string;  (** ["grip"] or ["post"] *)
+  old_speedup : float;
+  new_speedup : float;
+}
+
+type result = {
+  cells : cell list;  (** artifact order of the new file *)
+  only_old : string list;  (** "LL3/fu8/grip"-style labels *)
+  only_new : string list;
+}
+
+let cell_label c = Printf.sprintf "%s/%s/%s" c.loop c.fu c.tech
+let delta c = c.new_speedup -. c.old_speedup
+
+let schema_version doc =
+  let prefix = "grip.bench.table1/" in
+  match Option.bind (Json.member "schema" doc) Json.to_str with
+  | Some s when String.length s > String.length prefix
+                && String.sub s 0 (String.length prefix) = prefix ->
+      int_of_string_opt
+        (String.sub s (String.length prefix)
+           (String.length s - String.length prefix))
+  | _ -> None
+
+(* Flatten an artifact into ordered ((loop, fu, tech), speedup) cells. *)
+let cells_of doc =
+  let loops =
+    Option.value ~default:[]
+      (Option.bind (Json.member "loops" doc) Json.to_list)
+  in
+  List.concat_map
+    (fun loop ->
+      match Option.bind (Json.member "name" loop) Json.to_str with
+      | None -> []
+      | Some name ->
+          let fields = match loop with Json.Obj kvs -> kvs | _ -> [] in
+          List.concat_map
+            (fun (field, v) ->
+              if String.length field > 2 && String.sub field 0 2 = "fu" then
+                List.filter_map
+                  (fun tech ->
+                    Option.bind (Json.member tech v) (fun c ->
+                        Option.map
+                          (fun s -> ((name, field, tech), s))
+                          (Option.bind (Json.member "speedup" c) Json.to_float)))
+                  [ "grip"; "post" ]
+              else [])
+            fields)
+    loops
+
+let parse_artifact label contents =
+  match Json.parse contents with
+  | Error e -> Error (Printf.sprintf "%s: invalid JSON: %s" label e)
+  | Ok doc -> (
+      match schema_version doc with
+      | Some v when v >= 1 -> Ok doc
+      | Some v -> Error (Printf.sprintf "%s: unsupported schema version %d" label v)
+      | None -> Error (Printf.sprintf "%s: not a grip.bench.table1 artifact" label))
+
+(** [diff ~old_ ~new_] — both arguments are raw file contents. *)
+let diff ~old_ ~new_ =
+  match (parse_artifact "old" old_, parse_artifact "new" new_) with
+  | Error e, _ | _, Error e -> Error e
+  | Ok od, Ok nd ->
+      let ocells = cells_of od and ncells = cells_of nd in
+      let label (l, f, t) = Printf.sprintf "%s/%s/%s" l f t in
+      let cells =
+        List.filter_map
+          (fun (key, new_speedup) ->
+            Option.map
+              (fun old_speedup ->
+                let loop, fu, tech = key in
+                { loop; fu; tech; old_speedup; new_speedup })
+              (List.assoc_opt key ocells))
+          ncells
+      in
+      let only_in a b =
+        List.filter_map
+          (fun (key, _) ->
+            if List.mem_assoc key b then None else Some (label key))
+          a
+      in
+      Ok { cells; only_old = only_in ocells ncells; only_new = only_in ncells ocells }
+
+(** GRiP cells whose speedup dropped by more than [tolerance] — the
+    regression gate only guards the paper's own technique; POST swings
+    are reported in the table but never fail the diff. *)
+let regressions ?(tolerance = 1e-9) r =
+  List.filter
+    (fun c -> c.tech = "grip" && c.old_speedup -. c.new_speedup > tolerance)
+    r.cells
+
+let pp_result ?(tolerance = 1e-9) ppf r =
+  Format.fprintf ppf "%-6s %-5s %-5s %9s %9s %9s@." "loop" "fu" "tech" "old"
+    "new" "delta";
+  List.iter
+    (fun c ->
+      Format.fprintf ppf "%-6s %-5s %-5s %9.3f %9.3f %+9.3f%s@." c.loop c.fu
+        c.tech c.old_speedup c.new_speedup (delta c)
+        (if c.tech = "grip" && c.old_speedup -. c.new_speedup > tolerance then
+           "  REGRESSION"
+         else ""))
+    r.cells;
+  List.iter
+    (fun l -> Format.fprintf ppf "only in old artifact: %s@." l)
+    r.only_old;
+  List.iter
+    (fun l -> Format.fprintf ppf "only in new artifact: %s@." l)
+    r.only_new;
+  let regs = regressions ~tolerance r in
+  if regs = [] then
+    Format.fprintf ppf "%d cell(s) compared; no GRiP regressions (tolerance %g)@."
+      (List.length r.cells) tolerance
+  else
+    Format.fprintf ppf
+      "%d cell(s) compared; %d GRiP regression(s) beyond tolerance %g@."
+      (List.length r.cells) (List.length regs) tolerance

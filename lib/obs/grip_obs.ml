@@ -1,25 +1,35 @@
 (** Observability for the GRiP stack: typed tracing ({!Trace}),
-    counters / histograms / timings ({!Metrics}), and the minimal JSON
-    layer both share ({!Json}).
+    counters / histograms / timings ({!Metrics}), per-operation
+    provenance journals ({!Provenance}), the post-schedule bottleneck
+    analyzer ({!Bottleneck}), bench-artifact diffing ({!Bench_diff}),
+    and the minimal JSON layer they all share ({!Json}).
 
-    A {!t} bundles one tracer and one metrics registry and is threaded
-    through the percolation context ([Vliw_percolation.Ctx]) and the
-    pipeline drivers.  {!null} — the default everywhere — disables
-    both: instrumented hot paths guard on [enabled] so an unobserved
-    run pays a boolean test per site and nothing else. *)
+    A {!t} bundles one tracer, one metrics registry and one provenance
+    recorder, and is threaded through the percolation context
+    ([Vliw_percolation.Ctx]) and the pipeline drivers.  {!null} — the
+    default everywhere — disables all three: instrumented hot paths
+    guard on [enabled] so an unobserved run pays a boolean test per
+    site and nothing else. *)
 
 module Json = Json
 module Trace = Trace
 module Metrics = Metrics
+module Provenance = Provenance
+module Bottleneck = Bottleneck
+module Bench_diff = Bench_diff
 
-type t = { trace : Trace.t; metrics : Metrics.t }
+type t = { trace : Trace.t; metrics : Metrics.t; prov : Provenance.t }
 
-let null = { trace = Trace.null; metrics = Metrics.disabled }
+let null =
+  { trace = Trace.null; metrics = Metrics.disabled; prov = Provenance.null }
 
-let make ?(trace = Trace.null) ?(metrics = Metrics.disabled) () =
-  { trace; metrics }
+let make ?(trace = Trace.null) ?(metrics = Metrics.disabled)
+    ?(prov = Provenance.null) () =
+  { trace; metrics; prov }
 
-let enabled t = Trace.enabled t.trace || Metrics.enabled t.metrics
+let enabled t =
+  Trace.enabled t.trace || Metrics.enabled t.metrics
+  || Provenance.enabled t.prov
 
 (** [timed t phase f] — run [f] inside a [phase] span, accumulate its
     wall time under [phase.<name>], and return (result, seconds).  The

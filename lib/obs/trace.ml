@@ -227,13 +227,65 @@ let merge_events buffers =
     (fun ((a : float), _) ((b : float), _) -> compare a b)
     (List.concat buffers)
 
-(** [chrome_string events] — render already-collected (absolute
+(* Flow enrichment: one Chrome flow chain ("s" start, "t" steps, "f"
+   finish, sharing an id) per operation with at least two recorded
+   hops, derived from the Migrate_hop events so viewers draw each
+   operation's journey as connected arrows.  Renames split an
+   operation across ids, so a cloned op contributes one chain per
+   identity — journals in [Provenance] are the authoritative
+   cross-rename view. *)
+let flow_records ~t0 events =
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (ts, ev) ->
+      match ev with
+      | Migrate_hop { op; from_; to_ } ->
+          (match Hashtbl.find_opt tbl op with
+          | Some hops -> hops := (ts, from_, to_) :: !hops
+          | None ->
+              Hashtbl.replace tbl op (ref [ (ts, from_, to_) ]);
+              order := op :: !order)
+      | _ -> ())
+    events;
+  let record ~ph ~op ~ts ~from_ ~to_ =
+    Json.Obj
+      [
+        ("name", Json.Str (Printf.sprintf "op%d journey" op));
+        ("cat", Json.Str "grip.flow");
+        ("ph", Json.Str ph);
+        ("id", Json.int op);
+        ("ts", Json.Num ((ts -. t0) *. 1e6));
+        ("pid", Json.int 1);
+        ("tid", Json.int 1);
+        ( "args",
+          Json.Obj [ ("from", Json.int from_); ("to", Json.int to_) ] );
+      ]
+  in
+  List.concat_map
+    (fun op ->
+      match List.rev !(Hashtbl.find tbl op) with
+      | [] | [ _ ] -> []
+      | hops ->
+          let last = List.length hops - 1 in
+          List.mapi
+            (fun i (ts, from_, to_) ->
+              let ph = if i = 0 then "s" else if i = last then "f" else "t" in
+              record ~ph ~op ~ts ~from_ ~to_)
+            hops)
+    (List.rev !order)
+
+(** [chrome_string ?flows events] — render already-collected (absolute
     timestamp, event) pairs, e.g. from a ring buffer, as a complete
-    Chrome trace JSON document. *)
-let chrome_string events =
+    Chrome trace JSON document.  With [~flows:true] each multi-hop
+    operation's Migrate_hop sequence is additionally rendered as a
+    Chrome flow chain (phases "s"/"t"/"f") so its journey draws as
+    connected arrows. *)
+let chrome_string ?(flows = false) events =
   let t0 =
     List.fold_left (fun acc (ts, _) -> min acc ts) infinity events
   in
   let t0 = if t0 = infinity then 0.0 else t0 in
-  Json.to_string ~pretty:true
-    (Json.List (List.map (fun (ts, ev) -> chrome_record ~t0 ts ev) events))
+  let base = List.map (fun (ts, ev) -> chrome_record ~t0 ts ev) events in
+  let extra = if flows then flow_records ~t0 events else [] in
+  Json.to_string ~pretty:true (Json.List (base @ extra))

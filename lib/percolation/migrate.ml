@@ -60,11 +60,15 @@ type outcome = {
    bookkeeping). *)
 let hop (ctx : Ctx.t) hooks ~from_:s ~to_:n ~op_id =
   let p = ctx.Ctx.program in
-  let trace_hop op =
-    let tr = ctx.Ctx.obs.Grip_obs.trace in
+  let record_hop ~rule op' =
+    let obs = ctx.Ctx.obs in
+    let tr = obs.Grip_obs.trace in
     if Grip_obs.Trace.enabled tr then
       Grip_obs.Trace.emit tr
-        (Grip_obs.Trace.Migrate_hop { op; from_ = s; to_ = n })
+        (Grip_obs.Trace.Migrate_hop { op = op'; from_ = s; to_ = n });
+    let pv = obs.Grip_obs.prov in
+    if Grip_obs.Provenance.enabled pv then
+      Grip_obs.Provenance.record_hop pv ~op:op_id ~op' ~from_:s ~to_:n ~rule
   in
   let from_node = Program.node p s in
   match Node.find_any from_node op_id with
@@ -77,13 +81,15 @@ let hop (ctx : Ctx.t) hooks ~from_:s ~to_:n ~op_id =
       else if Operation.is_cjump op then
         match Move_cj.move ctx ~from_:s ~to_:n ~cj_id:op_id with
         | Ok r ->
-            trace_hop r.Move_cj.cj.Operation.id;
+            record_hop ~rule:Grip_obs.Provenance.Move_cj
+              r.Move_cj.cj.Operation.id;
             Ok r.Move_cj.cj.Operation.id
         | Error f -> Error (Cj f)
       else
         match Move_op.move ctx ~from_:s ~to_:n ~op_id with
         | Ok r ->
-            trace_hop r.Move_op.op.Operation.id;
+            record_hop ~rule:Grip_obs.Provenance.Move_op
+              r.Move_op.op.Operation.id;
             Ok r.Move_op.op.Operation.id
         | Error f -> Error (Op f)
 

@@ -52,6 +52,66 @@ let test_json_escapes () =
   | Ok _ -> Alcotest.fail "expected a string"
   | Error e -> Alcotest.failf "parse failed: %s" e
 
+(* Documented failure modes of the string-escape parser: a truncated
+   [\u] escape (fewer than four hex digits before the closing quote)
+   and an escape character outside JSON's repertoire. *)
+let test_json_escape_failures () =
+  List.iter
+    (fun s ->
+      match Json.parse s with
+      | Ok _ -> Alcotest.failf "accepted invalid escape %S" s
+      | Error _ -> ())
+    [ {|"\u12"|}; {|"\u123"|}; {|"\uzzzz"|}; {|"\x41"|}; {|"\q"|} ]
+
+(* Round-trip property: any value the renderer can represent exactly
+   parses back to itself, pretty or compact.  The generator sticks to
+   numbers with exact decimal renderings — integers and dyadic
+   fractions k/2^m — because [Num] carries a float and %.12g is only
+   guaranteed lossless for those; strings draw from the full byte
+   range, so control characters exercise the \u escape path and high
+   bytes the raw UTF-8 pass-through. *)
+let json_gen =
+  QCheck2.Gen.(
+    let scalar =
+      oneof
+        [
+          return Json.Null;
+          map (fun b -> Json.Bool b) bool;
+          map Json.int (int_range (-1_000_000) 1_000_000);
+          map
+            (fun (k, m) -> Json.Num (float_of_int k /. float_of_int (1 lsl m)))
+            (pair (int_range (-4096) 4096) (int_range 0 8));
+          map (fun s -> Json.Str s) (string_size ~gen:char (int_bound 12));
+        ]
+    in
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then scalar
+           else
+             frequency
+               [
+                 (2, scalar);
+                 ( 1,
+                   map
+                     (fun xs -> Json.List xs)
+                     (list_size (int_bound 4) (self (n / 2))) );
+                 ( 1,
+                   map
+                     (fun kvs -> Json.Obj kvs)
+                     (list_size (int_bound 4)
+                        (pair (string_size ~gen:char (int_bound 8)) (self (n / 2))))
+                 );
+               ]))
+
+let prop_json_roundtrip =
+  QCheck2.Test.make ~name:"parse (to_string v) = v" ~count:200
+    ~print:(fun v -> Json.to_string ~pretty:true v)
+    json_gen
+    (fun v ->
+      List.for_all
+        (fun pretty -> Json.parse (Json.to_string ~pretty v) = Ok v)
+        [ false; true ])
+
 (* -- Metrics -------------------------------------------------------------- *)
 
 let test_metrics_counters () =
@@ -238,6 +298,113 @@ let replay_cases =
         [ 2; 4 ])
     [ "LL1"; "LL5" ]
 
+(* -- provenance journals --------------------------------------------------- *)
+
+module Provenance = Obs.Provenance
+
+(* Recorder mechanics, in isolation: renames carry the journal to the
+   new identity, views come back oldest-first, and the blocker ranking
+   counts Dep rejections per blamed operation. *)
+let test_provenance_rename_follows () =
+  let p = Provenance.create () in
+  Provenance.record_hop p ~op:5 ~op':5 ~from_:1 ~to_:2 ~rule:Provenance.Move_op;
+  Provenance.record_hop p ~op:5 ~op':9 ~from_:2 ~to_:3 ~rule:Provenance.Move_cj;
+  Provenance.record_reject p ~op:9 ~node:3 (Provenance.Dep 4);
+  Provenance.record_reject p ~op:9 ~node:3 (Provenance.Dep 4);
+  Provenance.record_reject p ~op:9 ~node:3 (Provenance.Dep 2);
+  Alcotest.(check bool) "old id unbound" true (Provenance.journal p 5 = None);
+  (match Provenance.journal p 9 with
+  | None -> Alcotest.fail "journal lost across rename"
+  | Some j ->
+      Alcotest.(check int) "origin" 1 j.Provenance.origin;
+      Alcotest.(check (list int)) "aliases" [ 5 ] j.Provenance.aliases;
+      (match Provenance.journey j with
+      | [ h1; h2 ] ->
+          Alcotest.(check int) "first hop source" 1 h1.Provenance.from_;
+          Alcotest.(check bool)
+            "rules recorded" true
+            (h1.Provenance.rule = Provenance.Move_op
+            && h2.Provenance.rule = Provenance.Move_cj)
+      | hops -> Alcotest.failf "expected 2 hops, got %d" (List.length hops)));
+  Alcotest.(check int) "total hops" 2 (Provenance.total_hops p);
+  Alcotest.(check int) "total deps" 3 (Provenance.total_deps p);
+  Alcotest.(check (list (pair int int)))
+    "blockers ranked" [ (4, 2); (2, 1) ] (Provenance.blockers p)
+
+let test_provenance_null_inert () =
+  Provenance.record_hop Provenance.null ~op:1 ~op':1 ~from_:0 ~to_:1
+    ~rule:Provenance.Move_op;
+  Provenance.record_reject Provenance.null ~op:1 ~node:0 Provenance.Fuel;
+  Alcotest.(check bool) "disabled" false (Provenance.enabled Provenance.null);
+  Alcotest.(check int) "no journals" 0
+    (List.length (Provenance.journals Provenance.null));
+  Alcotest.(check int) "no hops" 0 (Provenance.total_hops Provenance.null);
+  Alcotest.(check bool) "no fuel" false (Provenance.fuel_hit Provenance.null)
+
+(* The replay invariant, journal edition: scheduling with provenance
+   and metrics enabled, the journal-derived totals must equal both the
+   scheduler's own counters and the metrics registry — hops,
+   suspensions and resource barriers are recorded at the very sites
+   that bump the counters, so any divergence is a lost or duplicated
+   record.  POST's phase 2 moves operations outside Migrate, so its
+   journals account for phase 1 exactly like the trace replay. *)
+let check_prov_replay name method_ fu =
+  let prov = Provenance.create () in
+  let m = Metrics.create () in
+  let obs = Obs.make ~metrics:m ~prov () in
+  let o =
+    Pipeline.run ~obs (kernel name) ~machine:(Machine.homogeneous fu) ~method_
+  in
+  let ctx = Printf.sprintf "%s/%s/%dFU" name (Pipeline.method_name method_) fu in
+  let expect (s : Scheduler.stats) =
+    Alcotest.(check int) (ctx ^ " hops") s.Scheduler.hops
+      (Provenance.total_hops prov);
+    Alcotest.(check int)
+      (ctx ^ " suspensions") s.Scheduler.suspensions
+      (Provenance.total_suspensions prov);
+    Alcotest.(check int)
+      (ctx ^ " barriers") s.Scheduler.resource_barrier_events
+      (Provenance.total_barriers prov);
+    Alcotest.(check int)
+      (ctx ^ " hops = metrics")
+      (Metrics.counter m "scheduler.hops")
+      (Provenance.total_hops prov);
+    Alcotest.(check int)
+      (ctx ^ " suspensions = metrics")
+      (Metrics.counter m "scheduler.suspensions")
+      (Provenance.total_suspensions prov);
+    Alcotest.(check int)
+      (ctx ^ " barriers = metrics")
+      (Metrics.counter m "scheduler.barriers")
+      (Provenance.total_barriers prov);
+    Alcotest.(check bool) (ctx ^ " journaled work") true
+      (Provenance.total_hops prov > 0)
+  in
+  (match o.Pipeline.stats with
+  | Pipeline.Grip_stats s -> expect s
+  | Pipeline.Post_stats s -> expect s.Post.phase1
+  | Pipeline.Unifiable_stats _ -> Alcotest.fail "unexpected Unifiable stats");
+  Alcotest.(check bool)
+    (ctx ^ " fuel agrees") o.Pipeline.fuel_exhausted
+    (Provenance.fuel_hit prov)
+
+let prov_replay_cases =
+  List.concat_map
+    (fun name ->
+      List.concat_map
+        (fun fu ->
+          List.map
+            (fun m ->
+              let label =
+                Printf.sprintf "journal replay %s %s %dFU" name
+                  (Pipeline.method_name m) fu
+              in
+              Alcotest.test_case label `Slow (fun () ->
+                  check_prov_replay name m fu))
+            [ Pipeline.Grip; Pipeline.Grip_no_gap; Pipeline.Post ])
+        [ 2; 4 ])
+    [ "LL1"; "LL5" ]
+
 (* -- merged-trace replay (the parallel-harness invariant) ------------------ *)
 
 (* Each task of a parallel batch records into a private ring buffer;
@@ -299,7 +466,14 @@ let test_null_sink_purity () =
     run (Obs.make ~trace:tracer ~metrics:(Metrics.create ()) ())
   in
   Alcotest.(check string) "same schedule" table_null table_traced;
-  Alcotest.(check (float 1e-9)) "same speedup" speedup_null speedup_traced
+  Alcotest.(check (float 1e-9)) "same speedup" speedup_null speedup_traced;
+  (* provenance journaling must be just as pure an observer *)
+  let table_prov, speedup_prov =
+    run (Obs.make ~prov:(Provenance.create ()) ())
+  in
+  Alcotest.(check string) "same schedule with journals" table_null table_prov;
+  Alcotest.(check (float 1e-9))
+    "same speedup with journals" speedup_null speedup_prov
 
 (* -- Chrome sink ---------------------------------------------------------- *)
 
@@ -333,6 +507,145 @@ let test_chrome_sink_valid () =
           Alcotest.(check bool) ("has ph=" ^ ph) true (Hashtbl.mem phases ph))
         [ "B"; "E" ]
   | Ok _ -> Alcotest.fail "chrome trace is not a JSON array"
+
+(* -- ring truncation is observable ----------------------------------------- *)
+
+(* A ring past capacity must say how much it overwrote (the CLI turns
+   this into a truncation warning) and keep exactly the newest
+   [capacity] events, oldest-first. *)
+let test_ring_truncation () =
+  let r, tracer = Trace.ring ~capacity:4 () in
+  for i = 1 to 10 do
+    Trace.emit tracer (Trace.Note (string_of_int i))
+  done;
+  Alcotest.(check int) "dropped" 6 (Trace.ring_dropped r);
+  let survivors =
+    List.filter_map
+      (function _, Trace.Note s -> Some s | _ -> None)
+      (Trace.ring_events r)
+  in
+  Alcotest.(check (list string)) "newest kept, oldest-first"
+    [ "7"; "8"; "9"; "10" ] survivors;
+  (* and an un-overflowed ring reports zero *)
+  let r2, tracer2 = Trace.ring ~capacity:4 () in
+  Trace.emit tracer2 (Trace.Note "only");
+  Alcotest.(check int) "no overflow" 0 (Trace.ring_dropped r2)
+
+(* -- Chrome flow chains ---------------------------------------------------- *)
+
+(* Flow enrichment: an operation with >= 2 hops yields an s/t*/f chain
+   sharing its id; single-hop operations yield nothing.  The enriched
+   document must still be valid JSON. *)
+let test_chrome_flows () =
+  let hop op from_ to_ ts = (ts, Trace.Migrate_hop { op; from_; to_ }) in
+  let events = [ hop 7 1 2 0.0; hop 9 1 4 0.5; hop 7 2 3 1.0; hop 7 3 5 1.5 ] in
+  match Json.parse (Trace.chrome_string ~flows:true events) with
+  | Error e -> Alcotest.failf "flow-enriched trace unparseable: %s" e
+  | Ok (Json.List records) ->
+      let flows =
+        List.filter
+          (fun r ->
+            Option.bind (Json.member "cat" r) Json.to_str = Some "grip.flow")
+          records
+      in
+      Alcotest.(check int) "base + flow records" (4 + 3) (List.length records);
+      Alcotest.(check (list string))
+        "flow phases"
+        [ "s"; "t"; "f" ]
+        (List.filter_map
+           (fun r -> Option.bind (Json.member "ph" r) Json.to_str)
+           flows);
+      List.iter
+        (fun r ->
+          Alcotest.(check (option (float 1e-9)))
+            "flow id is the multi-hop op" (Some 7.0)
+            (Option.bind (Json.member "id" r) Json.to_float))
+        flows
+  | Ok _ -> Alcotest.fail "trace is not a JSON array"
+
+(* -- bench diff ------------------------------------------------------------ *)
+
+module Bench_diff = Obs.Bench_diff
+
+let artifact ?(schema = "grip.bench.table1/3") loops =
+  Printf.sprintf {|{"schema":%S,"loops":[%s]}|} schema
+    (String.concat "," loops)
+
+let ll1 ?(grip = 2.5) ?(post = 2.0) () =
+  Printf.sprintf
+    {|{"name":"LL1","fu2":{"grip":{"speedup":%g},"post":{"speedup":%g}}}|}
+    grip post
+
+let ll5 ?(grip = 3.0) () =
+  Printf.sprintf {|{"name":"LL5","fu4":{"grip":{"speedup":%g}}}|} grip
+
+let diff_ok ~old_ ~new_ =
+  match Bench_diff.diff ~old_ ~new_ with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "diff failed: %s" e
+
+let test_bench_diff_self_clean () =
+  let a = artifact [ ll1 (); ll5 () ] in
+  let r = diff_ok ~old_:a ~new_:a in
+  Alcotest.(check int) "cells" 3 (List.length r.Bench_diff.cells);
+  Alcotest.(check (list string)) "only_old" [] r.Bench_diff.only_old;
+  Alcotest.(check (list string)) "only_new" [] r.Bench_diff.only_new;
+  Alcotest.(check int) "no regressions" 0
+    (List.length (Bench_diff.regressions r))
+
+let test_bench_diff_regression () =
+  let old_ = artifact [ ll1 (); ll5 () ] in
+  (* the GRiP drop regresses; the larger POST drop must not *)
+  let new_ = artifact [ ll1 ~grip:2.4 ~post:1.0 (); ll5 () ] in
+  match Bench_diff.regressions (diff_ok ~old_ ~new_) with
+  | [ c ] ->
+      Alcotest.(check string) "culprit" "LL1/fu2/grip" (Bench_diff.cell_label c);
+      Alcotest.(check (float 1e-9)) "delta" (-0.1) (Bench_diff.delta c)
+  | cs -> Alcotest.failf "expected 1 regression, got %d" (List.length cs)
+
+let test_bench_diff_tolerance () =
+  let old_ = artifact [ ll1 () ] in
+  let new_ = artifact [ ll1 ~grip:2.45 () ] in
+  let r = diff_ok ~old_ ~new_ in
+  Alcotest.(check int) "within tolerance" 0
+    (List.length (Bench_diff.regressions ~tolerance:0.1 r));
+  Alcotest.(check int) "beyond tolerance" 1
+    (List.length (Bench_diff.regressions ~tolerance:0.01 r))
+
+(* The cell layout has been stable since schema /1, so artifacts from
+   before the bottleneck block stay comparable. *)
+let test_bench_diff_cross_schema () =
+  let old_ = artifact ~schema:"grip.bench.table1/1" [ ll1 () ] in
+  let new_ = artifact [ ll1 () ] in
+  let r = diff_ok ~old_ ~new_ in
+  Alcotest.(check int) "cells" 2 (List.length r.Bench_diff.cells)
+
+let test_bench_diff_asymmetric_cells () =
+  let old_ = artifact [ ll1 (); ll5 () ] in
+  let new_ =
+    artifact [ ll1 (); {|{"name":"LL9","fu8":{"grip":{"speedup":4}}}|} ]
+  in
+  let r = diff_ok ~old_ ~new_ in
+  Alcotest.(check (list string)) "only_old" [ "LL5/fu4/grip" ]
+    r.Bench_diff.only_old;
+  Alcotest.(check (list string)) "only_new" [ "LL9/fu8/grip" ]
+    r.Bench_diff.only_new;
+  Alcotest.(check int) "lopsided cells never regress" 0
+    (List.length (Bench_diff.regressions r))
+
+let test_bench_diff_rejects () =
+  let good = artifact [ ll1 () ] in
+  List.iter
+    (fun (label, bad) ->
+      match Bench_diff.diff ~old_:bad ~new_:good with
+      | Ok _ -> Alcotest.failf "accepted %s" label
+      | Error _ -> ())
+    [
+      ("unversioned schema", {|{"schema":"something.else","loops":[]}|});
+      ("pre-/1 schema", artifact ~schema:"grip.bench.table1/0" []);
+      ("no schema", {|{"loops":[]}|});
+      ("invalid JSON", "{");
+    ]
 
 (* -- Unifiable stats and fuel (the Pipeline.run fix) ----------------------- *)
 
@@ -396,6 +709,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
           Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
           Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "escape failures" `Quick test_json_escape_failures;
+          QCheck_alcotest.to_alcotest prop_json_roundtrip;
         ] );
       ( "metrics",
         [
@@ -412,6 +727,12 @@ let () =
             test_metrics_merge_disabled;
         ] );
       ("replay", replay_cases);
+      ( "provenance",
+        Alcotest.test_case "rename follows identity" `Quick
+          test_provenance_rename_follows
+        :: Alcotest.test_case "null recorder is inert" `Quick
+             test_provenance_null_inert
+        :: prov_replay_cases );
       ( "merged-trace",
         [
           Alcotest.test_case "merged replay reconstructs counters" `Slow
@@ -421,6 +742,23 @@ let () =
         [
           Alcotest.test_case "null sink purity" `Quick test_null_sink_purity;
           Alcotest.test_case "chrome JSON valid" `Quick test_chrome_sink_valid;
+          Alcotest.test_case "ring truncation observable" `Quick
+            test_ring_truncation;
+          Alcotest.test_case "chrome flow chains" `Quick test_chrome_flows;
+        ] );
+      ( "bench-diff",
+        [
+          Alcotest.test_case "self diff clean" `Quick test_bench_diff_self_clean;
+          Alcotest.test_case "regression detected" `Quick
+            test_bench_diff_regression;
+          Alcotest.test_case "tolerance respected" `Quick
+            test_bench_diff_tolerance;
+          Alcotest.test_case "cross-schema comparable" `Quick
+            test_bench_diff_cross_schema;
+          Alcotest.test_case "asymmetric cells reported" `Quick
+            test_bench_diff_asymmetric_cells;
+          Alcotest.test_case "malformed artifacts rejected" `Quick
+            test_bench_diff_rejects;
         ] );
       ( "pipeline",
         [
