@@ -479,7 +479,7 @@ let ablation ~pool () =
 module Json = Grip_obs.Json
 module Obs = Grip_obs
 
-let table1_schema = "grip.bench.table1/3"
+let table1_schema = "grip.bench.table1/4"
 
 (* One (loop, technique, width) measurement with its scheduler stats,
    per-phase wall-clock breakdown and bottleneck verdict — the
@@ -490,13 +490,36 @@ let table1_schema = "grip.bench.table1/3"
 let json_cell (e : Livermore.entry) method_ fu horizon =
   let machine = Machine.homogeneous fu in
   let prov = Obs.Provenance.create () in
-  let obs = Obs.make ~prov () in
+  (* metrics on: the legality block below reads the move-legality and
+     graph-maintenance counters the percolation core records *)
+  let metrics = Obs.Metrics.create () in
+  let obs = Obs.make ~prov ~metrics () in
   let o = Pipeline.run ~obs e.Livermore.kernel ~machine ~method_ ?horizon in
   let m = Pipeline.measure ~data:e.Livermore.data o in
   let ok =
     match Pipeline.check ~data:e.Livermore.data o with
     | Ok _ -> true
     | Error _ -> false
+  in
+  let legality =
+    let c name = Obs.Metrics.counter metrics name in
+    let hits = c "legality.cache_hits" and misses = c "legality.cache_misses" in
+    let rate =
+      if hits + misses = 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + misses)
+    in
+    Json.Obj
+      [
+        ("check_seconds", Json.Num (Obs.Metrics.time metrics "legality.check"));
+        ("cache_hits", Json.int hits);
+        ("cache_misses", Json.int misses);
+        ("cache_hit_rate", Json.Num rate);
+        ("index_hits", Json.int (c "ir.index_reuses"));
+        ("index_misses", Json.int (c "ir.index_builds"));
+        ("gc_deferred", Json.int (c "ir.gc_deferred"));
+        ("gc_runs", Json.int (c "ir.gc_runs"));
+        ("gc_reclaimed", Json.int (c "ir.gc_reclaimed"));
+      ]
   in
   Json.Obj
     [
@@ -508,6 +531,7 @@ let json_cell (e : Livermore.entry) method_ fu horizon =
       ("oracle_ok", Json.Bool ok);
       ("stats", Pipeline.stats_json o.Pipeline.stats);
       ("phase_seconds", Pipeline.phase_seconds_json o.Pipeline.phase_seconds);
+      ("legality", legality);
       ( "bottleneck",
         Obs.Bottleneck.to_json (Grip.Explain.report ~prov o) );
     ]
@@ -656,6 +680,28 @@ let json_validate file =
                   (match Json.member "phase_seconds" c with
                   | Some (Json.Obj _) -> ()
                   | _ -> fail "%s/fu%d/%s: missing phase_seconds" name fu tech);
+                  (match Json.member "legality" c with
+                  | Some lg ->
+                      List.iter
+                        (fun field ->
+                          if
+                            Option.bind (Json.member field lg) Json.to_float
+                            = None
+                          then
+                            fail "%s/fu%d/%s: legality missing numeric %s" name
+                              fu tech field)
+                        [
+                          "check_seconds";
+                          "cache_hits";
+                          "cache_misses";
+                          "cache_hit_rate";
+                          "index_hits";
+                          "index_misses";
+                          "gc_deferred";
+                          "gc_runs";
+                          "gc_reclaimed";
+                        ]
+                  | None -> fail "%s/fu%d/%s: missing legality block" name fu tech);
                   match Json.member "bottleneck" c with
                   | Some b ->
                       (match Option.bind (Json.member "verdict" b) Json.to_str with

@@ -41,12 +41,23 @@ let reg_arcs ops =
   let n = Array.length ops in
   let arcs = ref [] in
   let add src dst kind dist = arcs := { src; dst; kind; dist } :: !arcs in
+  (* register -> ascending defining positions, computed in one pass
+     (the previous per-use rescan of the whole body made this
+     O(positions² · defs)) *)
+  let def_tbl : (Reg.t, int list) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri
+    (fun i op ->
+      match Operation.def op with
+      | Some r ->
+          Hashtbl.replace def_tbl r
+            (i
+            :: (match Hashtbl.find_opt def_tbl r with Some l -> l | None -> []))
+      | None -> ())
+    ops;
   let defs_of r =
-    let acc = ref [] in
-    Array.iteri
-      (fun i op -> if Operation.defines_reg op r then acc := i :: !acc)
-      ops;
-    List.rev !acc
+    match Hashtbl.find_opt def_tbl r with
+    | Some l -> List.rev l
+    | None -> []
   in
   for j = 0 to n - 1 do
     List.iter
@@ -78,13 +89,7 @@ let reg_arcs ops =
     match Operation.def ops.(i) with
     | None -> ()
     | Some r ->
-        let defs =
-          let acc = ref [] in
-          Array.iteri
-            (fun j op -> if j <> i && Operation.defines_reg op r then acc := j :: !acc)
-            ops;
-          List.rev !acc
-        in
+        let defs = List.filter (fun j -> j <> i) (defs_of r) in
         (match List.filter (fun j -> j > i) defs with
         | j :: _ -> add i j Output 0
         | [] -> (
@@ -144,16 +149,38 @@ let mem_arcs ?ivar ops =
 (** [build ?ivar body] constructs the DDG of [body] (source order).
     [ivar = (k, step)] identifies the induction register and its
     per-iteration step for exact memory distances. *)
+let kind_rank = function Flow -> 0 | Anti -> 1 | Output -> 2 | Mem -> 3
+
+(* Same total order the old polymorphic-compare tuple sort produced
+   (constant constructors compare in declaration order), monomorphic. *)
+let arc_compare a b =
+  let c = Int.compare a.src b.src in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.dst b.dst in
+    if c <> 0 then c
+    else
+      let c = Int.compare (kind_rank a.kind) (kind_rank b.kind) in
+      if c <> 0 then c else Int.compare a.dist b.dist
+
 let build ?ivar body =
   let ops = Array.of_list body in
   let n = Array.length ops in
   let arcs = reg_arcs ops @ mem_arcs ?ivar ops in
-  (* dedupe *)
+  (* dedupe through a hash table (O(arcs)), then one monomorphic sort
+     reproducing the order the old [List.sort_uniq] emitted *)
   let arcs =
-    List.sort_uniq
-      (fun a b ->
-        compare (a.src, a.dst, a.kind, a.dist) (b.src, b.dst, b.kind, b.dist))
+    let seen = Hashtbl.create 64 in
+    List.filter
+      (fun a ->
+        let key = (a.src, a.dst, kind_rank a.kind, a.dist) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
       arcs
+    |> List.sort arc_compare
   in
   let succs = Array.make (max n 1) [] in
   let preds = Array.make (max n 1) [] in

@@ -126,6 +126,7 @@ let run ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
         if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0))
   in
   let unifiable_budget = ref 0 in
+  let idx_reuses0, idx_builds0 = Node.index_counters () in
   let stats, wall_seconds =
     Obs.timed obs Trace.Schedule (fun () ->
         match method_ with
@@ -163,6 +164,14 @@ let run ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
             unifiable_budget := config.Unifiable.max_migrations;
             Unifiable_stats (Unifiable.run config ctx))
   in
+  (* node-index effectiveness over the scheduling phase (the global
+     counters are deltas-snapshotted here; exact attribution under
+     sequential cells, i.e. --jobs 1) *)
+  if Metrics.enabled obs.Obs.metrics then begin
+    let idx_reuses1, idx_builds1 = Node.index_counters () in
+    Metrics.add obs.Obs.metrics "ir.index_reuses" (idx_reuses1 - idx_reuses0);
+    Metrics.add obs.Obs.metrics "ir.index_builds" (idx_builds1 - idx_builds0)
+  end;
   let fuel_exhausted =
     match stats with
     | Unifiable_stats s -> s.Unifiable.migrations >= !unifiable_budget
@@ -324,6 +333,7 @@ let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
     Option.value max_migrations
       ~default:(Scheduler.default_config ~rank).Scheduler.max_migrations
   in
+  let idx_reuses0, idx_builds0 = Node.index_counters () in
   let stats, wall_seconds =
     Obs.timed obs Trace.Schedule (fun () ->
         match method_ with
@@ -347,6 +357,11 @@ let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
             Post_stats (Post.run ctx_unlimited ctx_real ~rank)
         | Unifiable -> assert false (* not a ladder rung *))
   in
+  if Metrics.enabled obs.Obs.metrics then begin
+    let idx_reuses1, idx_builds1 = Node.index_counters () in
+    Metrics.add obs.Obs.metrics "ir.index_reuses" (idx_reuses1 - idx_reuses0);
+    Metrics.add obs.Obs.metrics "ir.index_builds" (idx_builds1 - idx_builds0)
+  end;
   let exhausted = fuel_exhausted_of stats in
   let migrations =
     match stats with

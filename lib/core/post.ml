@@ -36,21 +36,18 @@ type stats = {
    itself overflows. *)
 let splice_above (p : Program.t) n =
   let m = Program.fresh_node p ~ops:[] ~ctree:(Ctree.leaf n) in
-  let preds = Program.preds p in
-  (match Hashtbl.find_opt preds n with
-  | Some ps ->
-      List.iter
-        (fun q -> if q <> m.Node.id then Program.redirect p ~from_:q ~old_:n ~new_:m.Node.id)
-        ps
-  | None -> ());
+  List.iter
+    (fun q ->
+      if q <> m.Node.id then Program.redirect p ~from_:q ~old_:n ~new_:m.Node.id)
+    (Program.preds_of p n);
   m.Node.id
 
 let push_entry_down (p : Program.t) =
   let e = Program.node p p.Program.entry in
-  let ops = e.Node.ops and tree = e.Node.ctree in
+  let tree = e.Node.ctree in
   (* clear the entry first (de-indexing its jumps), then rebuild its
      contents in a fresh node below *)
-  e.Node.ops <- [];
+  let ops = Program.take_ops p p.Program.entry in
   Program.set_ctree p p.Program.entry (Ctree.leaf p.Program.exit_id);
   let m = Program.fresh_node p ~ops ~ctree:tree in
   Program.set_ctree p p.Program.entry (Ctree.leaf m.Node.id);

@@ -23,11 +23,11 @@ type t = {
 }
 
 let by_iteration (a : Operation.t) (b : Operation.t) =
-  compare a.Operation.iter b.Operation.iter
+  Int.compare a.Operation.iter b.Operation.iter
 
 let tie_break (a : Operation.t) (b : Operation.t) =
-  match compare a.Operation.src_pos b.Operation.src_pos with
-  | 0 -> compare a.Operation.id b.Operation.id
+  match Int.compare a.Operation.src_pos b.Operation.src_pos with
+  | 0 -> Int.compare a.Operation.id b.Operation.id
   | c -> c
 
 (** The section 3.4 heuristic.  [ddg] and [body] describe the original
@@ -48,8 +48,8 @@ let section_3_4 ~(ddg : Vliw_analysis.Ddg.t) =
         match by_iteration a b with
         | 0 ->
             let ha, da = info a and hb, db = info b in
-            if ha <> hb then compare hb ha
-            else if da <> db then compare db da
+            if ha <> hb then Int.compare hb ha
+            else if da <> db then Int.compare db da
             else tie_break a b
         | c -> c);
   }

@@ -104,7 +104,7 @@ let speculation_allows (config : config) (ctx : Ctx.t) ~from_ ~to_
   | Resource_aware threshold -> (
       let p = ctx.Ctx.program in
       let to_node = Program.node p to_ in
-      match Ctree.path_to to_node.Node.ctree from_ with
+      match Node.path_to to_node from_ with
       | Some [] | None -> true (* lands unguarded: not speculative *)
       | Some (_ :: _) ->
           Operation.is_cjump op
@@ -146,9 +146,31 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
   let suspend_reason = ref "gap prevention" in
   let dom = dominators ctx in
   let initial = moveable_ops p dom n in
-  (* ranked queue of op ids; metadata re-fetched from the program *)
-  let suspended : (int, unit) Hashtbl.t = Hashtbl.create 8 in
-  let attempted : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  (* Ranked queue of op ids; metadata re-fetched from the program.
+     Op ids are dense, so membership is a byte mask (consulted for
+     every candidate on every pass — the hot path of the min-scan)
+     plus, for the suspended set, an explicit id list for the two
+     fold/clear sites. *)
+  let suspended = Vliw_ir.Itbl.create ~capacity:256 false in
+  let attempted = Vliw_ir.Itbl.create ~capacity:256 false in
+  let suspended_ids = ref [] in
+  let suspended_count = ref 0 in
+  let suspend op_id =
+    if not (Vliw_ir.Itbl.get suspended op_id) then begin
+      Vliw_ir.Itbl.set suspended op_id true;
+      suspended_ids := op_id :: !suspended_ids;
+      incr suspended_count
+    end
+  in
+  let unsuspend_all () =
+    List.iter
+      (fun op_id ->
+        Vliw_ir.Itbl.set suspended op_id false;
+        Vliw_ir.Itbl.set attempted op_id false)
+      !suspended_ids;
+    suspended_ids := [];
+    suspended_count := 0
+  in
   let fetch op_id =
     match Program.home p op_id with
     | None -> None
@@ -161,7 +183,7 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
      suspensions exist, only a successful hop (which bumps the version)
      changes node order, so consecutive iterations over failed attempts
      reuse the table instead of rebuilding it from a full RPO walk. *)
-  let rpo_cache : (int * (int, int) Hashtbl.t) option ref = ref None in
+  let rpo_cache : (int * int Vliw_ir.Itbl.t) option ref = ref None in
   let rpo_index () =
     let v = Program.version p in
     match !rpo_cache with
@@ -169,8 +191,8 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
         Metrics.incr mx "scheduler.rpo_rebuilds_saved";
         tbl
     | _ ->
-        let tbl = Hashtbl.create 64 in
-        List.iteri (fun i id -> Hashtbl.replace tbl id i) (Program.rpo p);
+        let tbl = Vliw_ir.Itbl.create ~capacity:256 max_int in
+        List.iteri (fun i id -> Vliw_ir.Itbl.set tbl id i) (Program.rpo p);
         rpo_cache := Some (v, tbl);
         Metrics.incr mx "scheduler.rpo_rebuilds";
         tbl
@@ -179,39 +201,45 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
   while !continue_ do
     (* rule 3 bookkeeping is only needed while suspensions exist *)
     let node_order =
-      if Hashtbl.length suspended = 0 then fun _ -> 0
+      if !suspended_count = 0 then fun _ -> 0
       else
         let idx = rpo_index () in
-        fun id ->
-          match Hashtbl.find_opt idx id with Some i -> i | None -> max_int
+        fun id -> Vliw_ir.Itbl.get idx id
     in
     let lowest_suspended =
-      Hashtbl.fold
-        (fun op_id () acc ->
+      List.fold_left
+        (fun acc op_id ->
           match fetch op_id with
           | Some (home, _) -> max acc (node_order home)
           | None -> acc)
-        suspended (-1)
+        (-1) !suspended_ids
     in
-    (* candidates: alive, not yet in n, not suspended, not already
-       attempted since the last progress, rule 3 respected *)
-    let candidates =
-      List.filter_map
-        (fun (op : Operation.t) ->
-          if Hashtbl.mem attempted op.Operation.id then None
-          else if Hashtbl.mem suspended op.Operation.id then None
+    (* Best candidate: alive, not yet in n, not suspended, not already
+       attempted since the last progress, rule 3 respected.  A single
+       min-scan replacing the earlier build-then-[Rank.sort]: keeping
+       the incumbent on ties reproduces the head of a stable sort for
+       any comparator, so custom ranks behave identically. *)
+    let cmp = config.rank.Rank.compare in
+    let best =
+      List.fold_left
+        (fun best (op : Operation.t) ->
+          if Vliw_ir.Itbl.get attempted op.Operation.id then best
+          else if Vliw_ir.Itbl.get suspended op.Operation.id then best
           else
             match fetch op.Operation.id with
             | Some (home, op') when home <> n ->
                 if lowest_suspended >= 0 && node_order home <= lowest_suspended
-                then None
-                else Some op'
-            | Some _ | None -> None)
-        initial
+                then best
+                else (
+                  match best with
+                  | None -> Some op'
+                  | Some b -> if cmp op' b < 0 then Some op' else best)
+            | Some _ | None -> best)
+        None initial
     in
-    match Rank.sort config.rank candidates with
-    | [] -> continue_ := false
-    | best :: _ ->
+    match best with
+    | None -> continue_ := false
+    | Some best ->
         if stats.migrations >= config.max_migrations then begin
           stats.fuel_exhausted <- true;
           if proving then
@@ -223,7 +251,7 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
           continue_ := false
         end
         else begin
-          Hashtbl.replace attempted best.Operation.id ();
+          Vliw_ir.Itbl.set attempted best.Operation.id true;
           stats.migrations <- stats.migrations + 1;
           Metrics.incr mx "scheduler.migrations";
           if tracing then
@@ -262,9 +290,9 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
                   if proving then
                     Provenance.record_reject pv ~op:op.Operation.id ~node
                       (Provenance.Suspended !suspend_reason);
-                  Hashtbl.replace suspended op.Operation.id ());
+                  suspend op.Operation.id);
               Migrate.early_stop =
-                (fun ~moved -> moved > 0 && Hashtbl.length suspended > 0);
+                (fun ~moved -> moved > 0 && !suspended_count > 0);
             }
           in
           let r =
@@ -317,12 +345,10 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
           (match on_move with
           | Some f when r.Migrate.moved > 0 -> f ~op:best ~outcome:r
           | Some _ | None -> ());
-          if r.Migrate.moved > 0 && Hashtbl.length suspended > 0 then begin
+          if r.Migrate.moved > 0 && !suspended_count > 0 then
             (* rule 2: progress unsuspends everything; unsuspended ops
                re-enter the ranked queue *)
-            Hashtbl.iter (fun op_id () -> Hashtbl.remove attempted op_id) suspended;
-            Hashtbl.reset suspended
-          end
+            unsuspend_all ()
         end
   done
 

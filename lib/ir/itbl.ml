@@ -1,0 +1,33 @@
+(** Dense int-keyed tables.
+
+    The program graph's derived state is keyed by ids drawn from
+    monotonic counters (node ids, operation ids), so the key space is
+    dense and bounded by the counter.  Profiling the scheduling core
+    shows generic [Hashtbl] machinery ([caml_hash], bucket probing)
+    dominating those lookups; a flat array with a sentinel default is
+    several times cheaper and has the same observable behaviour.
+
+    [get] never allocates and returns [default] beyond the current
+    capacity; [set] grows geometrically on demand.  Only non-negative
+    keys are valid. *)
+
+type 'a t = { mutable arr : 'a array; default : 'a }
+
+let create ?(capacity = 64) default =
+  { arr = Array.make (max capacity 1) default; default }
+
+let ensure t i =
+  let n = Array.length t.arr in
+  if i >= n then begin
+    let arr = Array.make (max (i + 1) (2 * n)) t.default in
+    Array.blit t.arr 0 arr 0 n;
+    t.arr <- arr
+  end
+
+let get t i = if i < Array.length t.arr then Array.unsafe_get t.arr i else t.default
+
+let set t i v =
+  ensure t i;
+  Array.unsafe_set t.arr i v
+
+let reset t = Array.fill t.arr 0 (Array.length t.arr) t.default

@@ -5,26 +5,67 @@
     empty node whose only successor is itself; execution stops there).
 
     All structural mutation must go through this module: the functions
-    below keep three pieces of derived state coherent:
+    below keep four pieces of derived state coherent:
     - [op_home]: operation id -> node id, for O(1) location queries
       during migration;
     - [version]: a counter bumped on every mutation, used by analysis
       caches ({!Vliw_analysis.Liveness}) to invalidate themselves;
-    - fresh-id supplies for nodes, operations and registers. *)
+    - [preds_tbl]: an incrementally maintained reverse-adjacency table
+      (it may list unreachable predecessors between mutations and
+      garbage collection; liveness-filtered accessors are provided);
+    - fresh-id supplies for nodes, operations and registers.
+
+    Node and operation ids are dense (drawn from the counters here),
+    so every id-keyed store is an {!Itbl} flat array rather than a
+    hash table — these lookups dominate the scheduler's profile.
+
+    Reachability and reverse postorder are memoized per [version].
+    {!gc} only removes nodes unreachable from the entry — a semantic
+    no-op for every reachable-set-derived analysis — so it does NOT
+    bump [version]: liveness, dominators and RPO caches stay valid
+    across collections. *)
 
 type t = {
-  nodes : (int, Node.t) Hashtbl.t;
+  nodes : Node.t option Itbl.t;
   entry : int;
   exit_id : int;
-  op_home : (int, int) Hashtbl.t;
+  op_home : int Itbl.t;  (** op id -> node id; [-1] = not placed *)
+  preds_tbl : int list Itbl.t;
   mutable next_node : int;
   mutable next_reg : int;
   mutable next_op : int;
   mutable version : int;
+  mutable reach_cache : (int * Bytes.t) option;
+  mutable rpo_cache : (int * int list) option;
+  mutable gc_reclaimed : int;  (** total nodes collected over the run *)
 }
 
 let touch p = p.version <- p.version + 1
 let version p = p.version
+let is_exit p id = id = p.exit_id
+
+(* -- predecessor-table maintenance -------------------------------------- *)
+
+(* The table mirrors the deduplicated successor sets: [q] appears at
+   most once in [preds_tbl.(s)] however many tree leaves of [q] point
+   at [s].  The exit sentinel's self-edge is not recorded, matching
+   the preds map this module always exposed. *)
+
+let pred_add p ~src ~dst =
+  if not (src = dst && is_exit p src) then
+    Itbl.set p.preds_tbl dst (src :: Itbl.get p.preds_tbl dst)
+
+let pred_remove p ~src ~dst =
+  if not (src = dst && is_exit p src) then
+    match Itbl.get p.preds_tbl dst with
+    | [] -> ()
+    | l -> Itbl.set p.preds_tbl dst (List.filter (fun q -> q <> src) l)
+
+let link_node p (n : Node.t) =
+  List.iter (fun s -> pred_add p ~src:n.Node.id ~dst:s) (Node.succs n)
+
+let unlink_node p (n : Node.t) =
+  List.iter (fun s -> pred_remove p ~src:n.Node.id ~dst:s) (Node.succs n)
 
 (* -- construction ------------------------------------------------------ *)
 
@@ -32,22 +73,30 @@ let version p = p.version
     through to the exit sentinel.  [first_reg] reserves register ids
     below it for the caller (parameters, named scalars). *)
 let create ?(first_reg = 0) () =
-  let nodes = Hashtbl.create 64 in
+  let nodes = Itbl.create None in
   let exit_id = 0 and entry = 1 in
-  Hashtbl.replace nodes exit_id
-    (Node.make ~id:exit_id ~ops:[] ~ctree:(Ctree.leaf exit_id));
-  Hashtbl.replace nodes entry
-    (Node.make ~id:entry ~ops:[] ~ctree:(Ctree.leaf exit_id));
-  {
-    nodes;
-    entry;
-    exit_id;
-    op_home = Hashtbl.create 64;
-    next_node = 2;
-    next_reg = first_reg;
-    next_op = 0;
-    version = 0;
-  }
+  Itbl.set nodes exit_id
+    (Some (Node.make ~id:exit_id ~ops:[] ~ctree:(Ctree.leaf exit_id)));
+  Itbl.set nodes entry
+    (Some (Node.make ~id:entry ~ops:[] ~ctree:(Ctree.leaf exit_id)));
+  let p =
+    {
+      nodes;
+      entry;
+      exit_id;
+      op_home = Itbl.create (-1);
+      preds_tbl = Itbl.create [];
+      next_node = 2;
+      next_reg = first_reg;
+      next_op = 0;
+      version = 0;
+      reach_cache = None;
+      rpo_cache = None;
+      gc_reclaimed = 0;
+    }
+  in
+  pred_add p ~src:entry ~dst:exit_id;
+  p
 
 let fresh_reg p =
   let r = p.next_reg in
@@ -61,11 +110,11 @@ let fresh_op_id p =
 
 (** [node p id] is the node with id [id].  Raises [Not_found] on a
     dangling id — a well-formedness violation. *)
-let node p id = Hashtbl.find p.nodes id
+let node p id =
+  match Itbl.get p.nodes id with Some n -> n | None -> raise Not_found
 
-let node_opt p id = Hashtbl.find_opt p.nodes id
+let node_opt p id = if id < 0 then None else Itbl.get p.nodes id
 let entry_node p = node p p.entry
-let is_exit p id = id = p.exit_id
 
 (* Keep the fresh-register supply above every register mentioned by any
    operation ever placed in the program, so renaming never collides
@@ -75,11 +124,17 @@ let note_op_regs p (op : Operation.t) =
   (match Operation.def op with Some d -> bump d | None -> ());
   List.iter bump (Operation.uses op)
 
+(* operation ids are normally drawn from [fresh_op_id], but kernel
+   builders may place pre-numbered ops: keep the supply above them *)
+let note_op_id p (op : Operation.t) =
+  if op.Operation.id >= p.next_op then p.next_op <- op.Operation.id + 1
+
 let register_ops p nid ops =
   List.iter
     (fun (op : Operation.t) ->
       note_op_regs p op;
-      Hashtbl.replace p.op_home op.id nid)
+      note_op_id p op;
+      Itbl.set p.op_home op.id nid)
     ops
 
 (** [fresh_node p ~ops ~ctree] allocates a new node and indexes its
@@ -88,9 +143,10 @@ let fresh_node p ~ops ~ctree =
   let id = p.next_node in
   p.next_node <- id + 1;
   let n = Node.make ~id ~ops ~ctree in
-  Hashtbl.replace p.nodes id n;
+  Itbl.set p.nodes id (Some n);
   register_ops p id ops;
   register_ops p id (Ctree.cjumps ctree);
+  link_node p n;
   touch p;
   n
 
@@ -98,14 +154,18 @@ let fresh_node p ~ops ~ctree =
 
 (** [home p op_id] is the node currently holding operation [op_id], or
     [None] if the operation has been deleted. *)
-let home p op_id = Hashtbl.find_opt p.op_home op_id
+let home p op_id =
+  let h = Itbl.get p.op_home op_id in
+  if h < 0 then None else Some h
 
 (** [add_op p nid op] appends [op] to node [nid]'s plain ops. *)
 let add_op p nid (op : Operation.t) =
   let n = node p nid in
   n.Node.ops <- n.Node.ops @ [ op ];
+  Node.note_add_op n op;
   note_op_regs p op;
-  Hashtbl.replace p.op_home op.id nid;
+  note_op_id p op;
+  Itbl.set p.op_home op.id nid;
   touch p
 
 (** [remove_op p nid op_id] removes plain op [op_id] from node [nid].
@@ -116,7 +176,8 @@ let remove_op p nid op_id =
     invalid_arg
       (Printf.sprintf "Program.remove_op: op %d not in node %d" op_id nid);
   n.Node.ops <- List.filter (fun (o : Operation.t) -> o.id <> op_id) n.Node.ops;
-  Hashtbl.remove p.op_home op_id;
+  Node.note_remove_op n op_id;
+  Itbl.set p.op_home op_id (-1);
   touch p
 
 (** [replace_op p nid op] substitutes the plain op with [op.id] in node
@@ -133,6 +194,7 @@ let replace_op p nid (op : Operation.t) =
           op)
         else o)
       n.Node.ops;
+  Node.invalidate_index n;
   if not !found then
     invalid_arg
       (Printf.sprintf "Program.replace_op: op %d not in node %d" op.id nid);
@@ -142,12 +204,26 @@ let replace_op p nid (op : Operation.t) =
     re-indexing the jumps it contains. *)
 let set_ctree p nid t =
   let n = node p nid in
+  unlink_node p n;
   List.iter
-    (fun (cj : Operation.t) -> Hashtbl.remove p.op_home cj.id)
+    (fun (cj : Operation.t) -> Itbl.set p.op_home cj.id (-1))
     (Ctree.cjumps n.Node.ctree);
   n.Node.ctree <- t;
+  Node.invalidate_index n;
+  link_node p n;
   register_ops p nid (Ctree.cjumps t);
   touch p
+
+(** [take_ops p nid] empties node [nid]'s plain ops and returns them
+    (their location entries survive: the caller re-registers them by
+    placing them in a fresh node, as POST's entry push-down does). *)
+let take_ops p nid =
+  let n = node p nid in
+  let ops = n.Node.ops in
+  n.Node.ops <- [];
+  Node.invalidate_index n;
+  touch p;
+  ops
 
 (** [copy_op p op] is a fresh-id clone of [op] (same kind, iter,
     lineage, src_pos): used when node splitting duplicates code. *)
@@ -188,69 +264,107 @@ let clone_instruction p ~ops ~ctree =
 let succs p id = if is_exit p id then [] else Node.succs (node p id)
 
 (** [iter_nodes p f] applies [f] to every node, exit sentinel included,
-    in unspecified order. *)
-let iter_nodes p f = Hashtbl.iter (fun _ n -> f n) p.nodes
+    in ascending id order. *)
+let iter_nodes p f =
+  for id = 0 to p.next_node - 1 do
+    match Itbl.get p.nodes id with Some n -> f n | None -> ()
+  done
 
-(** [fold_nodes p f acc] folds over every node in unspecified order. *)
-let fold_nodes p f acc = Hashtbl.fold (fun _ n acc -> f n acc) p.nodes acc
+(** [fold_nodes p f acc] folds over every node in ascending id order. *)
+let fold_nodes p f acc =
+  let acc = ref acc in
+  iter_nodes p (fun n -> acc := f n !acc);
+  !acc
 
 (** [node_ids p] is the sorted list of all node ids. *)
-let node_ids p =
-  Hashtbl.fold (fun id _ acc -> id :: acc) p.nodes []
-  |> List.sort Int.compare
+let node_ids p = fold_nodes p (fun n acc -> n.Node.id :: acc) [] |> List.rev
 
-(** [reachable p] is the set of node ids reachable from the entry. *)
+(* The reachable set as a byte mask indexed by node id, memoized per
+   program version (any structural change bumps the version and so
+   invalidates it; node allocation always touches). *)
+let live_mask p =
+  match p.reach_cache with
+  | Some (v, m) when v = p.version -> m
+  | _ ->
+      let m = Bytes.make p.next_node '\000' in
+      let rec go id =
+        if Bytes.unsafe_get m id = '\000' then begin
+          Bytes.unsafe_set m id '\001';
+          List.iter go (succs p id)
+        end
+      in
+      go p.entry;
+      p.reach_cache <- Some (p.version, m);
+      m
+
+(** [is_live p id] — is [id] reachable from the entry?  Deferred
+    garbage collection can leave dead nodes in the table between a
+    mutation and the next {!gc}; traversals that must behave as if
+    collection were eager filter on this. *)
+let is_live p id =
+  let m = live_mask p in
+  id >= 0 && id < Bytes.length m && Bytes.unsafe_get m id <> '\000'
+
+(** [reachable p] is the set of node ids reachable from the entry
+    (treat the returned table as read-only). *)
 let reachable p =
+  let m = live_mask p in
   let seen = Hashtbl.create 64 in
-  let rec go id =
-    if not (Hashtbl.mem seen id) then (
-      Hashtbl.replace seen id ();
-      List.iter go (succs p id))
-  in
-  go p.entry;
+  Bytes.iteri (fun id c -> if c <> '\000' then Hashtbl.replace seen id ()) m;
   seen
 
 (** [preds p] is the full predecessor map (node id -> predecessor ids),
-    over reachable nodes only.  Recomputed on demand; programs are
-    small. *)
+    over reachable nodes only. *)
 let preds p =
-  let r = reachable p in
+  let m = live_mask p in
   let tbl = Hashtbl.create 64 in
-  Hashtbl.iter (fun id () -> Hashtbl.replace tbl id []) r;
-  Hashtbl.iter
-    (fun id () ->
-      List.iter
-        (fun s ->
-          if s <> id || not (is_exit p id) then
-            Hashtbl.replace tbl s (id :: (try Hashtbl.find tbl s with Not_found -> [])))
-        (succs p id))
-    r;
+  Bytes.iteri
+    (fun id c ->
+      if c <> '\000' then
+        Hashtbl.replace tbl id
+          (List.filter (fun q -> is_live p q) (Itbl.get p.preds_tbl id)))
+    m;
   tbl
 
+(** [preds_of p id] — the live predecessors of node [id], served from
+    the incrementally maintained table (no full-graph rebuild). *)
+let preds_of p id =
+  match Itbl.get p.preds_tbl id with
+  | [] -> []
+  | l -> List.filter (fun q -> is_live p q) l
+
 (** [rpo p] is a reverse-postorder listing of the reachable nodes from
-    the entry — the top-down scheduling order. *)
+    the entry — the top-down scheduling order.  Memoized per program
+    version. *)
 let rpo p =
-  let seen = Hashtbl.create 64 in
-  let order = ref [] in
-  let rec go id =
-    if not (Hashtbl.mem seen id) then (
-      Hashtbl.replace seen id ();
-      List.iter go (succs p id);
-      order := id :: !order)
-  in
-  go p.entry;
-  !order
+  match p.rpo_cache with
+  | Some (v, order) when v = p.version -> order
+  | _ ->
+      let seen = Bytes.make p.next_node '\000' in
+      let order = ref [] in
+      let rec go id =
+        if Bytes.unsafe_get seen id = '\000' then begin
+          Bytes.unsafe_set seen id '\001';
+          List.iter go (succs p id);
+          order := id :: !order
+        end
+      in
+      go p.entry;
+      p.rpo_cache <- Some (p.version, !order);
+      !order
 
 (** [n_nodes p] counts reachable nodes (exit sentinel included). *)
-let n_nodes p = Hashtbl.length (reachable p)
+let n_nodes p =
+  let m = live_mask p in
+  let k = ref 0 in
+  Bytes.iter (fun c -> if c <> '\000' then incr k) m;
+  !k
 
 (** [all_ops p] lists every operation of every reachable node. *)
 let all_ops p =
-  let r = reachable p in
-  Hashtbl.fold
-    (fun id () acc ->
-      if is_exit p id then acc else Node.all_ops (node p id) @ acc)
-    r []
+  List.concat_map
+    (fun id -> if is_exit p id then [] else Node.all_ops (node p id))
+    (rpo p)
 
 (* -- structural edits --------------------------------------------------- *)
 
@@ -258,7 +372,10 @@ let all_ops p =
     pointing at [old_] to point at [new_]. *)
 let redirect p ~from_ ~old_ ~new_ =
   let n = node p from_ in
+  unlink_node p n;
   n.Node.ctree <- Ctree.replace_leaf n.Node.ctree ~old_ ~new_;
+  Node.invalidate_index n;
+  link_node p n;
   touch p
 
 (** [delete_node p id] removes the empty node [id], redirecting every
@@ -271,35 +388,45 @@ let delete_node p id =
   if not (Node.is_empty n) then
     invalid_arg "Program.delete_node: node not empty";
   let succ = match Node.succs n with [ s ] -> s | _ -> assert false in
-  let pr = preds p in
-  (match Hashtbl.find_opt pr id with
-  | Some ps -> List.iter (fun q -> redirect p ~from_:q ~old_:id ~new_:succ) ps
-  | None -> ());
-  Hashtbl.remove p.nodes id;
+  List.iter
+    (fun q -> redirect p ~from_:q ~old_:id ~new_:succ)
+    (Itbl.get p.preds_tbl id);
+  unlink_node p n;
+  Itbl.set p.preds_tbl id [];
+  Itbl.set p.nodes id None;
   touch p
 
 (** [gc p] drops nodes unreachable from the entry and de-indexes their
-    operations.  Returns the number of nodes collected. *)
+    operations.  Returns the number of nodes collected.  Removing
+    unreachable nodes changes no reachable-set-derived result, so the
+    program version is left alone and analysis caches survive. *)
 let gc p =
-  let r = reachable p in
+  let m = live_mask p in
   let dead =
-    Hashtbl.fold
-      (fun id _ acc -> if Hashtbl.mem r id then acc else id :: acc)
-      p.nodes []
+    fold_nodes p
+      (fun n acc ->
+        let id = n.Node.id in
+        if id < Bytes.length m && Bytes.get m id <> '\000' then acc
+        else id :: acc)
+      []
   in
   List.iter
     (fun id ->
       let n = node p id in
       List.iter
         (fun (op : Operation.t) ->
-          match Hashtbl.find_opt p.op_home op.id with
-          | Some h when h = id -> Hashtbl.remove p.op_home op.id
-          | Some _ | None -> ())
+          if Itbl.get p.op_home op.id = id then Itbl.set p.op_home op.id (-1))
         (Node.all_ops n);
-      Hashtbl.remove p.nodes id)
+      unlink_node p n;
+      Itbl.set p.preds_tbl id [];
+      Itbl.set p.nodes id None)
     dead;
-  if dead <> [] then touch p;
-  List.length dead
+  let k = List.length dead in
+  p.gc_reclaimed <- p.gc_reclaimed + k;
+  k
+
+(** [gc_reclaimed p] — total nodes {!gc} has collected on [p]. *)
+let gc_reclaimed p = p.gc_reclaimed
 
 (** [snapshot p] captures the full graph state; {!restore} brings [p]
     back to it in place.  Used by the Unifiable-ops baseline, whose
@@ -317,27 +444,75 @@ type snapshot = {
 let snapshot p =
   {
     s_nodes =
-      Hashtbl.fold
-        (fun id (n : Node.t) acc -> (id, n.Node.ops, n.Node.ctree) :: acc)
-        p.nodes [];
-    s_homes = Hashtbl.fold (fun k v acc -> (k, v) :: acc) p.op_home [];
+      fold_nodes p
+        (fun (n : Node.t) acc -> (n.Node.id, n.Node.ops, n.Node.ctree) :: acc)
+        [];
+    s_homes =
+      (let acc = ref [] in
+       for op_id = 0 to p.next_op - 1 do
+         let h = Itbl.get p.op_home op_id in
+         if h >= 0 then acc := (op_id, h) :: !acc
+       done;
+       !acc);
     s_next_node = p.next_node;
     s_next_reg = p.next_reg;
     s_next_op = p.next_op;
   }
 
 let restore p s =
-  Hashtbl.reset p.nodes;
+  Itbl.reset p.nodes;
+  Itbl.reset p.preds_tbl;
   List.iter
     (fun (id, ops, ctree) ->
-      Hashtbl.replace p.nodes id (Node.make ~id ~ops ~ctree))
+      Itbl.set p.nodes id (Some (Node.make ~id ~ops ~ctree)))
     s.s_nodes;
-  Hashtbl.reset p.op_home;
-  List.iter (fun (k, v) -> Hashtbl.replace p.op_home k v) s.s_homes;
+  iter_nodes p (fun n -> link_node p n);
+  Itbl.reset p.op_home;
+  List.iter (fun (k, v) -> Itbl.set p.op_home k v) s.s_homes;
   p.next_node <- s.s_next_node;
   p.next_reg <- s.s_next_reg;
   p.next_op <- s.s_next_op;
   touch p
+
+(** [check_derived_state p] — do the predecessor table and every
+    materialized node index agree with a from-scratch recomputation?
+    [None] when coherent; [Some reason] otherwise.  Test-suite oracle
+    for the incremental maintenance in this module. *)
+let check_derived_state p =
+  let norm l = List.sort Int.compare l in
+  let expected = Hashtbl.create 64 in
+  iter_nodes p (fun (n : Node.t) ->
+      List.iter
+        (fun s ->
+          if not (s = n.Node.id && is_exit p n.Node.id) then
+            Hashtbl.replace expected s
+              (n.Node.id
+              :: (match Hashtbl.find_opt expected s with
+                 | Some l -> l
+                 | None -> [])))
+        (Ctree.succs n.Node.ctree));
+  let pred_problem =
+    fold_nodes p
+      (fun n acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            let id = n.Node.id in
+            let want =
+              match Hashtbl.find_opt expected id with Some l -> norm l | None -> []
+            in
+            let got = norm (Itbl.get p.preds_tbl id) in
+            if want = got then None
+            else Some (Printf.sprintf "preds_tbl mismatch at n%d" id))
+      None
+  in
+  match pred_problem with
+  | Some _ as r -> r
+  | None ->
+      fold_nodes p
+        (fun n acc ->
+          match acc with Some _ -> acc | None -> Node.index_coherent n)
+        None
 
 let pp ppf p =
   let ids = rpo p in

@@ -41,9 +41,27 @@ let class_of (op : Operation.t) =
 
 let counted m op = not (m.copies_free && Operation.is_copy op)
 
+(* Per-class occupancy from the node's maintained category counts
+   (no op-list scan): loads/stores are the Mem class and are never
+   copies; conditional jumps are the Branch class; everything else —
+   including the copies a [copies_free] machine discounts — is Alu. *)
+let used_slots m (n : Node.t) cls =
+  let c = Node.counts n in
+  match cls with
+  | Mem -> c.Node.mems
+  | Branch -> c.Node.cjumps
+  | Alu ->
+      c.Node.plain - c.Node.mems - (if m.copies_free then c.Node.copies else 0)
+
 (** [slot_demand m node] is the number of issue slots [node] consumes
     on machine [m] (homogeneous accounting). *)
 let slot_demand m (n : Node.t) =
+  let c = Node.counts n in
+  c.Node.plain + c.Node.cjumps - (if m.copies_free then c.Node.copies else 0)
+
+(** [slot_demand_scan m node] — reference implementation of
+    {!slot_demand} scanning the op lists (equivalence oracle). *)
+let slot_demand_scan m (n : Node.t) =
   List.length (List.filter (counted m) (Node.all_ops n))
 
 (** [fits m node] — does [node] respect [m]'s issue width? *)
@@ -52,13 +70,9 @@ let fits m (n : Node.t) =
   | Unlimited -> true
   | Homogeneous k -> slot_demand m n <= k
   | Typed { alu; mem; branch } ->
-      let count cls =
-        List.length
-          (List.filter
-             (fun op -> counted m op && class_of op = cls)
-             (Node.all_ops n))
-      in
-      count Alu <= alu && count Mem <= mem && count Branch <= branch
+      used_slots m n Alu <= alu
+      && used_slots m n Mem <= mem
+      && used_slots m n Branch <= branch
 
 (** [room_for m node op] — could [op] be added to [node] without
     exceeding [m]'s issue width? *)
@@ -68,6 +82,19 @@ let room_for m (n : Node.t) (op : Operation.t) =
     match m.shape with
     | Unlimited -> true
     | Homogeneous k -> slot_demand m n + 1 <= k
+    | Typed { alu; mem; branch } ->
+        let cls = class_of op in
+        let limit = match cls with Alu -> alu | Mem -> mem | Branch -> branch in
+        used_slots m n cls + 1 <= limit
+
+(** [room_for_scan m node op] — reference implementation of
+    {!room_for} scanning the op lists (equivalence oracle). *)
+let room_for_scan m (n : Node.t) (op : Operation.t) =
+  if not (counted m op) then true
+  else
+    match m.shape with
+    | Unlimited -> true
+    | Homogeneous k -> slot_demand_scan m n + 1 <= k
     | Typed { alu; mem; branch } ->
         let cls = class_of op in
         let limit = match cls with Alu -> alu | Mem -> mem | Branch -> branch in

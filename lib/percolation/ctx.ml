@@ -17,6 +17,16 @@ type t = {
       (** dominator tree keyed by [Program.version]; per-context rather
           than global so concurrent or nested scheduler runs cannot
           observe each other's cache *)
+  mutable legality_cache :
+    (int * (int * int * int, (unit, Legality.failure) result) Hashtbl.t) option;
+      (** move-op verdicts keyed by [(from_, to_, op_id)], valid for one
+          program version only.  [Program.version] is globally monotonic
+          (even {!Program.restore} bumps it), so a version match always
+          means "same graph". *)
+  mutable gc_depth : int;
+      (** > 0 inside {!defer_gc}: collections requested by committed
+          moves are batched until the region exits *)
+  mutable gc_pending : bool;
 }
 
 (** [make ?rename ?obs p ~machine ~exit_live] builds a context with a
@@ -29,6 +39,9 @@ let make ?(rename = true) ?(obs = Grip_obs.null) program ~machine ~exit_live =
     rename;
     obs;
     dom_cache = None;
+    legality_cache = None;
+    gc_depth = 0;
+    gc_pending = false;
   }
 
 (** [dominators t] — the dominator tree of the current program version,
@@ -44,3 +57,69 @@ let dominators t =
       dom
 
 let live_in t id = Vliw_analysis.Liveness.live_in t.liveness id
+
+(* -- move-op legality memoization ---------------------------------------- *)
+
+(* The current version's verdict table, discarding a stale one. *)
+let legality_table t =
+  let v = Program.version t.program in
+  match t.legality_cache with
+  | Some (v', tbl) when v' = v -> tbl
+  | _ ->
+      let tbl = Hashtbl.create 64 in
+      t.legality_cache <- Some (v, tbl);
+      tbl
+
+(** [legality_find t ~from_ ~to_ ~op_id] — the cached verdict for this
+    move against the current program version, if any.  Records a
+    [legality.cache_hits] / [legality.cache_misses] metric either
+    way. *)
+let legality_find t ~from_ ~to_ ~op_id =
+  let r = Hashtbl.find_opt (legality_table t) (from_, to_, op_id) in
+  let m = t.obs.Grip_obs.metrics in
+  (match r with
+  | Some _ -> Grip_obs.Metrics.incr m "legality.cache_hits"
+  | None -> Grip_obs.Metrics.incr m "legality.cache_misses");
+  r
+
+(** [legality_store t ~from_ ~to_ ~op_id verdict] — memoize a verdict
+    for the current program version. *)
+let legality_store t ~from_ ~to_ ~op_id verdict =
+  Hashtbl.replace (legality_table t) (from_, to_, op_id) verdict
+
+(* -- deferred garbage collection ----------------------------------------- *)
+
+(* [Program.gc] only removes unreachable nodes, so batching several
+   committed moves' collections into one sweep cannot change what any
+   traversal of the *live* graph observes — consumers filter dead ids
+   with [Program.is_live].  Migration walks wrap themselves in
+   [defer_gc]; a commit outside such a region collects eagerly, as the
+   transformations always did. *)
+
+let run_gc t =
+  t.gc_pending <- false;
+  let reclaimed = Program.gc t.program in
+  let m = t.obs.Grip_obs.metrics in
+  Grip_obs.Metrics.incr m "ir.gc_runs";
+  Grip_obs.Metrics.add m "ir.gc_reclaimed" reclaimed
+
+(** [maybe_gc t] — request a collection: immediate outside a
+    {!defer_gc} region, batched (and counted as [ir.gc_deferred])
+    inside one. *)
+let maybe_gc t =
+  if t.gc_depth > 0 then begin
+    t.gc_pending <- true;
+    Grip_obs.Metrics.incr t.obs.Grip_obs.metrics "ir.gc_deferred"
+  end
+  else run_gc t
+
+(** [defer_gc t f] — run [f] with collections batched; any pending
+    sweep is flushed when the outermost region exits (also on
+    exceptions). *)
+let defer_gc t f =
+  t.gc_depth <- t.gc_depth + 1;
+  Fun.protect
+    ~finally:(fun () ->
+      t.gc_depth <- t.gc_depth - 1;
+      if t.gc_depth = 0 && t.gc_pending then run_gc t)
+    f

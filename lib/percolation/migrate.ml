@@ -101,34 +101,43 @@ let migrate (ctx : Ctx.t) ?(hooks = no_hooks) ~target ~op_id () =
   let current = ref op_id in
   let last_failure = ref None in
   let visited = Hashtbl.create 64 in
+  (* Garbage collection is deferred for the whole walk: commits mark
+     nodes dead without sweeping, so [node_opt] alone no longer proves
+     liveness — the [is_live] checks below reproduce exactly the
+     view an eager collector would give.  The sweep is flushed before
+     the outcome is computed (a dead operation must report no home). *)
+  let dead p nid =
+    match Program.node_opt p nid with
+    | None -> true
+    | Some _ -> not (Program.is_live p nid)
+  in
   let rec go nid =
     if hooks.early_stop ~moved:!moved || Hashtbl.mem visited nid then ()
     else begin
       Hashtbl.replace visited nid ();
-      match Program.node_opt p nid with
-      | None -> ()
-      | Some _ ->
-          (* Recurse first: deeper occurrences percolate up before we
-             try to pull the op across this level (Figure 4). *)
+      if not (dead p nid) then begin
+        (* Recurse first: deeper occurrences percolate up before we
+           try to pull the op across this level (Figure 4). *)
+        List.iter
+          (fun s -> if not (Program.is_exit p s) then go s)
+          (Program.succs p nid);
+        if hooks.early_stop ~moved:!moved then ()
+        else if dead p nid then ()
+        else
           List.iter
-            (fun s -> if not (Program.is_exit p s) then go s)
-            (Program.succs p nid);
-          if hooks.early_stop ~moved:!moved then ()
-          else if Program.node_opt p nid = None then ()
-          else
-            List.iter
-              (fun s ->
-                if (not (Program.is_exit p s)) && Program.home p !current = Some s
-                then
-                  match hop ctx hooks ~from_:s ~to_:nid ~op_id:!current with
-                  | Ok id' ->
-                      incr moved;
-                      current := id'
-                  | Error msg -> last_failure := Some msg)
-              (Program.succs p nid)
+            (fun s ->
+              if (not (Program.is_exit p s)) && Program.home p !current = Some s
+              then
+                match hop ctx hooks ~from_:s ~to_:nid ~op_id:!current with
+                | Ok id' ->
+                    incr moved;
+                    current := id'
+                | Error msg -> last_failure := Some msg)
+            (Program.succs p nid)
+      end
     end
   in
-  go target;
+  Ctx.defer_gc ctx (fun () -> go target);
   {
     moved = !moved;
     reached_target = Program.home p !current = Some target;

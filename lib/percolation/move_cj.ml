@@ -56,7 +56,7 @@ let move (ctx : Ctx.t) ~from_ ~to_ ~cj_id =
     (let to_node = Program.node p to_ and from_node = Program.node p from_ in
      if from_ = to_ then raise (Fail Not_adjacent);
      let landing =
-       match Ctree.path_to to_node.Node.ctree from_ with
+       match Node.path_to to_node from_ with
        | Some path -> path
        | None -> raise (Fail Not_adjacent)
      in
@@ -73,11 +73,9 @@ let move (ctx : Ctx.t) ~from_ ~to_ ~cj_id =
         ids; otherwise the true-arm copy can reuse the originals (and
         from_ is garbage-collected). *)
      let retained =
-       match Hashtbl.find_opt (Program.preds p) from_ with
-       | Some l -> List.exists (fun q -> q <> to_) l
-       | None -> false
+       List.exists (fun q -> q <> to_) (Program.preds_of p from_)
      in
-     let retained = retained || Ctree.all_paths_to to_node.Node.ctree from_ > 1 in
+     let retained = retained || Node.all_paths_to to_node from_ > 1 in
      let moved_cj = if retained then Program.copy_op p cj else cj in
      (* Specialise from_ to one arm of [cj]: keep the ops whose guard
         admits the arm (stripping the decided entry), duplicate the
@@ -117,7 +115,7 @@ let move (ctx : Ctx.t) ~from_ ~to_ ~cj_id =
      in
      let to_node = Program.node p to_ in
      Program.set_ctree p to_ (rewrite to_node.Node.ctree);
-     ignore (Program.gc p);
+     Ctx.maybe_gc ctx;
      { cj = moved_cj; true_copy = t_id; false_copy = f_id })
   with
   | r -> Ok r

@@ -27,13 +27,25 @@
     path keeps the original (now missing [op_id]) and every other way
     into [from_] is redirected to a fresh clone that still contains
     the operation.  When [from_] ends up empty it is deleted, as in
-    Figure 2. *)
+    Figure 2.
+
+    Legality is decided from the per-node indexes ({!Node.defs_of},
+    {!Node.uses_of}, {!Node.mem_ops}, maintained counts) in time
+    proportional to the operands involved rather than the node sizes;
+    the [*_scan] entry points keep the original list-scanning
+    implementation alive as the equivalence oracle the test suite
+    checks the indexed path against.  Negative verdicts are memoized
+    per program version in the context ({!Ctx.legality_find}): the
+    check has no effect on failure, so replaying a cached failure is
+    sound, while successful moves re-run the check because committing
+    consumes fresh names. *)
 
 open Vliw_ir
 module Alias = Vliw_analysis.Alias
 module Machine = Vliw_machine.Machine
+module Metrics = Grip_obs.Metrics
 
-type failure =
+type failure = Legality.failure =
   | Not_adjacent  (** [to_] is not a predecessor of [from_] *)
   | Op_not_found
   | Guarded  (** still under a conditional of [from_]'s tree *)
@@ -49,17 +61,7 @@ type report = {
   deleted_from : bool;  (** [from_] became empty and was removed *)
 }
 
-let pp_failure ppf = function
-  | Not_adjacent -> Format.pp_print_string ppf "nodes not adjacent"
-  | Op_not_found -> Format.pp_print_string ppf "operation not in from-node"
-  | Guarded ->
-      Format.pp_print_string ppf "operation guarded by from-node conditional"
-  | True_dependence op ->
-      Format.fprintf ppf "true dependence on %a" Operation.pp op
-  | Mem_dependence op ->
-      Format.fprintf ppf "memory dependence on %a" Operation.pp op
-  | Write_live r -> Format.fprintf ppf "write-live conflict on %a" Reg.pp r
-  | No_room -> Format.pp_print_string ppf "no free resources in to-node"
+let pp_failure = Legality.pp_failure
 
 exception Fail of failure
 
@@ -67,15 +69,9 @@ exception Fail of failure
    compatible path: a read of [d] where [to_] holds [d <- src] becomes
    a read of [src].  Raises [Fail (True_dependence def)] when a source
    is defined by a path-compatible non-copy op of [to_], or when
-   forwarding cannot compose. *)
-let forward_sources ?(landing = []) (to_node : Node.t) (op : Operation.t) =
-  let def_in_to r =
-    List.find_opt
-      (fun (o : Operation.t) ->
-        Operation.defines_reg o r
-        && Operation.guard_compatible o.Operation.guard landing)
-      to_node.Node.ops
-  in
+   forwarding cannot compose.  [def_in_to r] must be the first op of
+   [to_] (in instruction order) defining [r] on a compatible path. *)
+let forward_sources_with ~def_in_to (op : Operation.t) =
   let step op =
     let changed = ref false in
     let op' =
@@ -85,7 +81,7 @@ let forward_sources ?(landing = []) (to_node : Node.t) (op : Operation.t) =
             (fun o r ->
               match def_in_to r with
               | None -> o
-              | Some def -> (
+              | Some (def : Operation.t) -> (
                   match def.Operation.kind with
                   | Operation.Copy (d, src) -> (
                       match Operand.forward o ~copy_dst:d ~copy_src:src with
@@ -107,6 +103,22 @@ let forward_sources ?(landing = []) (to_node : Node.t) (op : Operation.t) =
   in
   fix op 8
 
+let forward_sources ?(landing = []) (to_node : Node.t) op =
+  forward_sources_with op ~def_in_to:(fun r ->
+      List.find_opt
+        (fun (o : Operation.t) ->
+          Operation.guard_compatible o.Operation.guard landing)
+        (Node.defs_of to_node r))
+
+(* Reference implementation: scan [to_node.ops] for defining ops. *)
+let forward_sources_scan ?(landing = []) (to_node : Node.t) op =
+  forward_sources_with op ~def_in_to:(fun r ->
+      List.find_opt
+        (fun (o : Operation.t) ->
+          Operation.defines_reg o r
+          && Operation.guard_compatible o.Operation.guard landing)
+        to_node.Node.ops)
+
 (* Decide legality; returns the op as it will appear in [to_] plus the
    renaming performed, or raises [Fail]. *)
 let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
@@ -114,7 +126,7 @@ let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
   if from_ = to_ then raise (Fail Not_adjacent);
   let to_node = Program.node p to_ and from_node = Program.node p from_ in
   let landing =
-    match Ctree.path_to to_node.Node.ctree from_ with
+    match Node.path_to to_node from_ with
     | Some path -> path
     | None -> raise (Fail Not_adjacent)
   in
@@ -126,7 +138,65 @@ let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
   if op.Operation.guard <> [] then raise (Fail Guarded);
   (* 1. true dependences, forwarding through copies in to_ *)
   let op = forward_sources ~landing to_node op in
-  (* 2. memory dependences against path-compatible ops of to_ *)
+  (* 2. memory dependences against path-compatible ops of to_
+     ([Alias.mem_conflict] needs memory accesses on both sides, so only
+     the loads/stores of to_ can witness one — and only when the moved
+     op itself touches memory) *)
+  if Operation.mem_access op <> None then (
+    match
+      List.find_opt
+        (fun (o : Operation.t) ->
+          Operation.guard_compatible o.Operation.guard landing
+          && Alias.mem_conflict o op)
+        (Node.mem_ops to_node)
+    with
+    | Some o -> raise (Fail (Mem_dependence o))
+    | None -> ());
+  (* 3. resource room at to_ *)
+  if not (Machine.room_for ctx.Ctx.machine to_node op) then raise (Fail No_room);
+  (* 4. move-past-read and same-destination conflicts *)
+  let op = { op with Operation.guard = landing } in
+  match Operation.def op with
+  | None -> (op, None)
+  | Some d ->
+      let past_read =
+        List.exists
+          (fun (o : Operation.t) -> o.Operation.id <> op_id)
+          (Node.uses_of from_node d)
+        || Node.cj_uses_of from_node d <> []
+      in
+      (* one definition of a register per instruction, program-wide *)
+      let output_conflict = Node.defs_of to_node d <> [] in
+      if past_read || output_conflict then
+        if ctx.Ctx.rename then
+          let fresh = Program.fresh_reg p in
+          (Operation.with_def op fresh, Some (d, fresh))
+        else raise (Fail (Write_live d))
+      else (op, None)
+
+(* The original list-scanning legality check, kept verbatim as the
+   oracle for {!check}: identical decision and identical failure on
+   every input (see test_index.ml). *)
+let check_scan (ctx : Ctx.t) ~from_ ~to_ ~op_id =
+  let p = ctx.Ctx.program in
+  if from_ = to_ then raise (Fail Not_adjacent);
+  let to_node = Program.node p to_ and from_node = Program.node p from_ in
+  let landing =
+    match Ctree.path_to to_node.Node.ctree from_ with
+    | Some path -> path
+    | None -> raise (Fail Not_adjacent)
+  in
+  let op =
+    match
+      List.find_opt
+        (fun (o : Operation.t) -> o.Operation.id = op_id)
+        from_node.Node.ops
+    with
+    | Some op -> op
+    | None -> raise (Fail Op_not_found)
+  in
+  if op.Operation.guard <> [] then raise (Fail Guarded);
+  let op = forward_sources_scan ~landing to_node op in
   (match
      List.find_opt
        (fun (o : Operation.t) ->
@@ -136,9 +206,8 @@ let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
    with
   | Some o -> raise (Fail (Mem_dependence o))
   | None -> ());
-  (* 3. resource room at to_ *)
-  if not (Machine.room_for ctx.Ctx.machine to_node op) then raise (Fail No_room);
-  (* 4. move-past-read and same-destination conflicts *)
+  if not (Machine.room_for_scan ctx.Ctx.machine to_node op) then
+    raise (Fail No_room);
   let op = { op with Operation.guard = landing } in
   match Operation.def op with
   | None -> (op, None)
@@ -152,7 +221,6 @@ let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
              (fun (cj : Operation.t) -> Operation.reads_reg cj d)
              (Ctree.cjumps from_node.Node.ctree)
       in
-      (* one definition of a register per instruction, program-wide *)
       let output_conflict =
         List.exists
           (fun (o : Operation.t) -> Operation.defines_reg o d)
@@ -171,14 +239,13 @@ let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
 let isolate_landing (ctx : Ctx.t) ~from_ ~to_ =
   let p = ctx.Ctx.program in
   let from_node = Program.node p from_ in
-  let preds = Program.preds p in
   let other_preds =
-    (match Hashtbl.find_opt preds from_ with Some l -> l | None -> [])
+    Program.preds_of p from_
     |> List.filter (fun q -> q <> to_)
     |> List.sort_uniq Int.compare
   in
   let to_node = Program.node p to_ in
-  let extra_paths = Ctree.all_paths_to to_node.Node.ctree from_ > 1 in
+  let extra_paths = Node.all_paths_to to_node from_ > 1 in
   if other_preds = [] && not extra_paths then None
   else begin
     let clone_ops, clone_tree =
@@ -236,20 +303,61 @@ let commit (ctx : Ctx.t) ~from_ ~to_ ~op_id (moved_op, renamed) =
     end
     else false
   in
-  ignore (Program.gc p);
+  Ctx.maybe_gc ctx;
   { op = moved_op; renamed; split; deleted_from }
+
+(* Run [check], consulting the per-version verdict cache first.  A
+   memoized failure short-circuits (checking mutates nothing on the
+   failure paths); a memoized success still re-runs the check, whose
+   decision — forwarded operands, fresh rename — is needed to commit. *)
+let cached_check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
+  match Ctx.legality_find ctx ~from_ ~to_ ~op_id with
+  | Some (Error f) -> raise (Fail f)
+  | Some (Ok ()) | None -> (
+      match check ctx ~from_ ~to_ ~op_id with
+      | decision ->
+          Ctx.legality_store ctx ~from_ ~to_ ~op_id (Ok ());
+          decision
+      | exception Fail f ->
+          Ctx.legality_store ctx ~from_ ~to_ ~op_id (Error f);
+          raise (Fail f))
 
 (** [move ctx ~from_ ~to_ ~op_id] attempts the transformation; on
     [Error _] the program is unchanged. *)
 let move (ctx : Ctx.t) ~from_ ~to_ ~op_id =
-  match check ctx ~from_ ~to_ ~op_id with
-  | exception Fail f -> Error f
-  | decision -> Ok (commit ctx ~from_ ~to_ ~op_id decision)
+  let m = ctx.Ctx.obs.Grip_obs.metrics in
+  let t0 = if Metrics.enabled m then Unix.gettimeofday () else 0.0 in
+  let result =
+    match cached_check ctx ~from_ ~to_ ~op_id with
+    | exception Fail f -> Error f
+    | decision -> Ok decision
+  in
+  if Metrics.enabled m then
+    Metrics.add_time m "legality.check" (Unix.gettimeofday () -. t0);
+  match result with
+  | Error f -> Error f
+  | Ok decision -> Ok (commit ctx ~from_ ~to_ ~op_id decision)
 
 (** [would_move ctx ~from_ ~to_ ~op_id] is the legality test alone —
     used by the Unifiable-ops baseline and by the Gapless search, which
-    must ask "could X move?" without mutating the program. *)
+    must ask "could X move?" without mutating the program.  Verdicts
+    are served from the per-version cache when available. *)
 let would_move (ctx : Ctx.t) ~from_ ~to_ ~op_id =
-  match check ctx ~from_ ~to_ ~op_id with
+  match Ctx.legality_find ctx ~from_ ~to_ ~op_id with
+  | Some v -> v
+  | None ->
+      let v =
+        match check ctx ~from_ ~to_ ~op_id with
+        | exception Fail f -> Error f
+        | _ -> Ok ()
+      in
+      Ctx.legality_store ctx ~from_ ~to_ ~op_id v;
+      v
+
+(** [would_move_scan ctx ~from_ ~to_ ~op_id] — the uncached,
+    list-scanning legality test: the oracle {!would_move} is compared
+    against by the property suite. *)
+let would_move_scan (ctx : Ctx.t) ~from_ ~to_ ~op_id =
+  match check_scan ctx ~from_ ~to_ ~op_id with
   | exception Fail f -> Error f
   | _ -> Ok ()

@@ -1,0 +1,90 @@
+(* Byte-identical-schedule oracle: digests of the rendered schedule of
+   every Livermore kernel x {2,4,8} FUs x {GRiP, no-gap, POST}.
+
+   The expected file is the contract that performance work in the
+   scheduling core must not change a single schedule: regenerate with
+   [schedule_digests.exe --write FILE], compare with
+   [schedule_digests.exe FILE] (exits 1 and prints each mismatch).
+   A subset is also checked from test_index.ml under `dune runtest`;
+   the full sweep runs under the @schedules / @perf-gate aliases. *)
+
+let fus = [ 2; 4; 8 ]
+let methods = [ Grip.Pipeline.Grip; Grip.Pipeline.Grip_no_gap; Grip.Pipeline.Post ]
+
+let method_tag = function
+  | Grip.Pipeline.Grip -> "grip"
+  | Grip.Pipeline.Grip_no_gap -> "no-gap"
+  | Grip.Pipeline.Post -> "post"
+  | Grip.Pipeline.Unifiable -> "unifiable"
+
+(* The digest covers the full rendered program (every node, op, guard,
+   register and conditional tree) plus the convergence verdict: any
+   behavioural drift in the scheduling core changes it. *)
+let cell_digest kernel ~fu ~method_ =
+  let machine = Vliw_machine.Machine.homogeneous fu in
+  let o = Grip.Pipeline.run kernel ~machine ~method_ in
+  let rendered =
+    Format.asprintf "%a@.cpi=%s converged=%b@." Vliw_ir.Program.pp
+      o.Grip.Pipeline.program
+      (match o.Grip.Pipeline.static_cpi with
+      | Some c -> Printf.sprintf "%.4f" c
+      | None -> "-")
+      (o.Grip.Pipeline.pattern <> None)
+  in
+  Digest.to_hex (Digest.string rendered)
+
+let all_lines () =
+  List.concat_map
+    (fun (e : Workloads.Livermore.entry) ->
+      let k = e.Workloads.Livermore.kernel in
+      List.concat_map
+        (fun fu ->
+          List.map
+            (fun m ->
+              Printf.sprintf "%s %s fu%d %s" k.Grip.Kernel.name (method_tag m)
+                fu
+                (cell_digest k ~fu ~method_:m))
+            methods)
+        fus)
+    Workloads.Livermore.all
+
+let () =
+  match Sys.argv with
+  | [| _; "--write"; file |] ->
+      let oc = open_out file in
+      List.iter (fun l -> output_string oc (l ^ "\n")) (all_lines ());
+      close_out oc;
+      Printf.eprintf "wrote %s\n%!" file
+  | [| _; file |] ->
+      let expected =
+        let ic = open_in file in
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file ->
+              close_in ic;
+              List.rev acc
+        in
+        go []
+      in
+      let actual = all_lines () in
+      let mismatches =
+        if List.length expected <> List.length actual then
+          [ Printf.sprintf "line count: expected %d, got %d"
+              (List.length expected) (List.length actual) ]
+        else
+          List.filter_map
+            (fun (e, a) -> if String.equal e a then None
+              else Some (Printf.sprintf "expected %S, got %S" e a))
+            (List.combine expected actual)
+      in
+      if mismatches = [] then
+        Printf.printf "schedule digests: %d cells byte-identical\n"
+          (List.length actual)
+      else begin
+        List.iter (Printf.eprintf "schedule digest mismatch: %s\n") mismatches;
+        exit 1
+      end
+  | _ ->
+      prerr_endline "usage: schedule_digests (--write FILE | FILE)";
+      exit 2

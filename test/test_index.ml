@@ -1,0 +1,256 @@
+(* Index-coherence oracle: the per-node legality indexes, the
+   incrementally maintained predecessor table, the counts-based
+   resource accounting and the memoized legality verdicts must be
+   observationally identical to the retained list-scanning ("naive")
+   implementations — on random programs and across random mutation
+   sequences.  A digest spot-check of real schedules rides along (the
+   full 126-cell sweep runs under the @schedules / @perf-gate
+   aliases). *)
+
+open Vliw_ir
+module Machine = Vliw_machine.Machine
+module Ctx = Vliw_percolation.Ctx
+module Move_op = Vliw_percolation.Move_op
+module Synthetic = Workloads.Synthetic
+
+let spec_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* n_ops = int_range 3 10 in
+    let* n_arrays = int_range 1 3 in
+    let* p_load = float_range 0.1 0.5 in
+    let* p_store = float_range 0.05 0.4 in
+    let* p_recurrence = float_range 0.0 0.5 in
+    return { Synthetic.seed; n_ops; n_arrays; p_load; p_store; p_recurrence })
+
+let print_spec (s : Synthetic.spec) =
+  Printf.sprintf "{seed=%d; n_ops=%d; n_arrays=%d; p=(%.2f,%.2f,%.2f)}"
+    s.Synthetic.seed s.Synthetic.n_ops s.Synthetic.n_arrays s.Synthetic.p_load
+    s.Synthetic.p_store s.Synthetic.p_recurrence
+
+(* deterministic per-spec rng, as in test_props *)
+let make_rng seed =
+  let rng = ref seed in
+  fun bound ->
+    rng := ((!rng * 1103515245) + 12345) land 0x3FFFFFFF;
+    !rng mod bound
+
+let failure_str f = Format.asprintf "%a" Move_op.pp_failure f
+
+let verdicts_agree a b =
+  match a, b with
+  | Ok (), Ok () -> true
+  | Error fa, Error fb -> String.equal (failure_str fa) (failure_str fb)
+  | _ -> false
+
+(* Every (pred, succ, op) move candidate of the current program. *)
+let all_candidates p =
+  List.concat_map
+    (fun nid ->
+      if Program.is_exit p nid then []
+      else
+        List.concat_map
+          (fun s ->
+            if Program.is_exit p s then []
+            else
+              List.map
+                (fun (op : Operation.t) -> (s, nid, op.Operation.id))
+                (Program.node p s).Node.ops)
+          (Program.succs p nid))
+    (Program.rpo p)
+
+let machines =
+  [
+    Machine.homogeneous 2;
+    Machine.homogeneous 4;
+    Machine.homogeneous ~copies_free:true 4;
+    Machine.typed ~alu:3 ~mem:1 ~branch:1 ();
+  ]
+
+(* 1. indexed would_move (memoized) == retained naive implementation,
+   across a random mutation sequence; derived state stays coherent. *)
+let prop_legality_equiv =
+  QCheck2.Test.make ~name:"indexed legality == naive legality" ~count:30
+    ~print:print_spec spec_gen (fun spec ->
+      let kern = Synthetic.generate spec in
+      let u = Grip.Unwind.build kern ~horizon:4 in
+      let p = u.Grip.Unwind.program in
+      let ctx =
+        Ctx.make p ~machine:(Machine.homogeneous 3)
+          ~exit_live:(Grip.Kernel.exit_live kern)
+      in
+      let next = make_rng spec.Synthetic.seed in
+      let ok = ref true in
+      for _round = 1 to 6 do
+        (* querying twice exercises the per-version verdict cache *)
+        List.iter
+          (fun (from_, to_, op_id) ->
+            let naive = Move_op.would_move_scan ctx ~from_ ~to_ ~op_id in
+            let indexed = Move_op.would_move ctx ~from_ ~to_ ~op_id in
+            let cached = Move_op.would_move ctx ~from_ ~to_ ~op_id in
+            if
+              (not (verdicts_agree naive indexed))
+              || not (verdicts_agree naive cached)
+            then ok := false)
+          (all_candidates p);
+        (* mutate: a few random accepted moves, then recheck coherence *)
+        for _ = 1 to 8 do
+          match all_candidates p with
+          | [] -> ()
+          | cands ->
+              let from_, to_, op_id = List.nth cands (next (List.length cands)) in
+              ignore (Move_op.move ctx ~from_ ~to_ ~op_id)
+        done;
+        (match Program.check_derived_state p with
+        | None -> ()
+        | Some reason ->
+            QCheck2.Test.fail_reportf "derived state incoherent: %s" reason)
+      done;
+      !ok)
+
+(* 2. counts-based resource accounting == op-list scans, on every node
+   of scheduled programs, for every machine shape. *)
+let prop_room_for_equiv =
+  QCheck2.Test.make ~name:"counts-based room_for == scan" ~count:30
+    ~print:print_spec spec_gen (fun spec ->
+      let kern = Synthetic.generate spec in
+      let o =
+        Grip.Pipeline.run kern ~machine:(Machine.homogeneous 2)
+          ~method_:Grip.Pipeline.Grip ~horizon:6
+      in
+      let p = o.Grip.Pipeline.program in
+      let probe_ops =
+        List.concat_map
+          (fun nid ->
+            if Program.is_exit p nid then []
+            else Node.all_ops (Program.node p nid))
+          (Program.rpo p)
+      in
+      List.for_all
+        (fun m ->
+          List.for_all
+            (fun nid ->
+              Program.is_exit p nid
+              ||
+              let n = Program.node p nid in
+              Machine.slot_demand m n = Machine.slot_demand_scan m n
+              && List.for_all
+                   (fun op -> Machine.room_for m n op = Machine.room_for_scan m n op)
+                   probe_ops)
+            (Program.rpo p))
+        machines)
+
+(* 3. memoized tree queries == direct Ctree traversals. *)
+let prop_path_memo_equiv =
+  QCheck2.Test.make ~name:"memoized path queries == Ctree" ~count:30
+    ~print:print_spec spec_gen (fun spec ->
+      let kern = Synthetic.generate spec in
+      let o =
+        Grip.Pipeline.run kern ~machine:(Machine.homogeneous 4)
+          ~method_:Grip.Pipeline.Grip ~horizon:6
+      in
+      let p = o.Grip.Pipeline.program in
+      List.for_all
+        (fun nid ->
+          Program.is_exit p nid
+          ||
+          let n = Program.node p nid in
+          Node.succs n = Node.succs_scan n
+          && List.for_all
+               (fun s ->
+                 (* twice: second call must come from the memo table *)
+                 Node.path_to n s = Ctree.path_to n.Node.ctree s
+                 && Node.path_to n s = Ctree.path_to n.Node.ctree s
+                 && Node.all_paths_to n s = Ctree.all_paths_to n.Node.ctree s)
+               (Node.succs n))
+        (Program.rpo p))
+
+(* 4. full pipelines leave every maintained structure coherent *)
+let prop_pipeline_coherent =
+  QCheck2.Test.make ~name:"derived state coherent after pipelines" ~count:15
+    ~print:print_spec spec_gen (fun spec ->
+      let kern = Synthetic.generate spec in
+      List.for_all
+        (fun method_ ->
+          let o =
+            Grip.Pipeline.run kern ~machine:(Machine.homogeneous 2) ~method_
+              ~horizon:6
+          in
+          Program.check_derived_state o.Grip.Pipeline.program = None)
+        [ Grip.Pipeline.Grip; Grip.Pipeline.Grip_no_gap; Grip.Pipeline.Post ])
+
+(* -- digest spot-check: real kernels, byte-identical schedules -------- *)
+
+let method_tag = function
+  | Grip.Pipeline.Grip -> "grip"
+  | Grip.Pipeline.Grip_no_gap -> "no-gap"
+  | Grip.Pipeline.Post -> "post"
+  | Grip.Pipeline.Unifiable -> "unifiable"
+
+let cell_digest kernel ~fu ~method_ =
+  let machine = Machine.homogeneous fu in
+  let o = Grip.Pipeline.run kernel ~machine ~method_ in
+  let rendered =
+    Format.asprintf "%a@.cpi=%s converged=%b@." Program.pp
+      o.Grip.Pipeline.program
+      (match o.Grip.Pipeline.static_cpi with
+      | Some c -> Printf.sprintf "%.4f" c
+      | None -> "-")
+      (o.Grip.Pipeline.pattern <> None)
+  in
+  Digest.to_hex (Digest.string rendered)
+
+let digest_subset () =
+  let expected =
+    let file =
+      if Sys.file_exists "schedule_digests.expected" then
+        "schedule_digests.expected"
+      else
+        Filename.concat
+          (Filename.dirname Sys.executable_name)
+          "schedule_digests.expected"
+    in
+    let ic = open_in file in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+    in
+    go []
+  in
+  List.iter
+    (fun (name, fu, m) ->
+      let e = Option.get (Workloads.Livermore.find name) in
+      let line =
+        Printf.sprintf "%s %s fu%d %s" name (method_tag m) fu
+          (cell_digest e.Workloads.Livermore.kernel ~fu ~method_:m)
+      in
+      if not (List.mem line expected) then
+        Alcotest.failf "schedule drifted from expected digest: %s" line)
+    [
+      ("LL1", 2, Grip.Pipeline.Grip);
+      ("LL1", 2, Grip.Pipeline.Post);
+      ("LL3", 4, Grip.Pipeline.Grip);
+      ("LL5", 2, Grip.Pipeline.Grip_no_gap);
+    ]
+
+let () =
+  if Sys.getenv_opt "QCHECK_SEED" = None then Unix.putenv "QCHECK_SEED" "20260704";
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_legality_equiv;
+        prop_room_for_equiv;
+        prop_path_memo_equiv;
+        prop_pipeline_coherent;
+      ]
+  in
+  Alcotest.run "index"
+    [
+      ("qcheck", qsuite);
+      ( "digests",
+        [ Alcotest.test_case "Livermore subset byte-identical" `Quick
+            digest_subset ] );
+    ]
