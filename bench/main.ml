@@ -16,6 +16,7 @@ module Speedup = Grip.Speedup
 module Convergence = Grip.Convergence
 module Livermore = Workloads.Livermore
 module Pool = Grip_parallel.Pool
+module Supervisor = Grip_parallel.Supervisor
 
 let printf = Format.printf
 
@@ -44,10 +45,13 @@ let run_cell (e : Livermore.entry) method_ fu =
   { speedup = m.Speedup.speedup; converged = o.Pipeline.pattern <> None; ok }
 
 (* Every (loop, technique, width) cell builds its own [Program.t], so
-   cells are embarrassingly parallel: fan them across the pool, then
-   render strictly in input order — stdout is byte-identical whatever
-   [--jobs] is (worker progress goes to stderr and may interleave). *)
-let table1_cells ~pool ~tag ~cell =
+   cells are embarrassingly parallel: fan them across the pool — under
+   the supervisor, so a crashing or stalling cell is retried rather
+   than tearing down the whole sweep — then render strictly in input
+   order: stdout is byte-identical whatever [--jobs] is (worker
+   progress goes to stderr and may interleave).  Returns the cells and
+   the supervisor's resilience stats (all zeros on a healthy run). *)
+let table1_cells ?config ~pool ~tag ~cell () =
   let tasks =
     List.concat_map
       (fun (e : Livermore.entry) ->
@@ -56,13 +60,15 @@ let table1_cells ~pool ~tag ~cell =
           fus)
       Livermore.all
   in
-  Array.of_list
-    (Pool.map_ordered pool
-       ~f:(fun ((e : Livermore.entry), m, fu) ->
-         Printf.eprintf "[%s] %s %s %dFU...\n%!" tag
-           e.Livermore.kernel.Grip.Kernel.name (Pipeline.method_name m) fu;
-         cell e m fu)
-       tasks)
+  let results, rstats =
+    Supervisor.supervise_or_raise ?config pool
+      ~f:(fun ~budget:_ ((e : Livermore.entry), m, fu) ->
+        Printf.eprintf "[%s] %s %s %dFU...\n%!" tag
+          e.Livermore.kernel.Grip.Kernel.name (Pipeline.method_name m) fu;
+        cell e m fu)
+      tasks
+  in
+  (Array.of_list results, rstats)
 
 (* cells.(i) layout of [table1_cells]: loop-major, then FU width, then
    grip before post. *)
@@ -77,7 +83,7 @@ let table1 ~pool () =
   printf "%-6s" "";
   List.iter (fun _ -> printf "| %6s %6s " "GRiP" "POST") fus;
   printf "|@.";
-  let cells = table1_cells ~pool ~tag:"table1" ~cell:run_cell in
+  let cells, _rstats = table1_cells ~pool ~tag:"table1" ~cell:run_cell () in
   let grip_cols = Array.make 3 [] and post_cols = Array.make 3 [] in
   let seq_w = ref [] in
   List.iteri
@@ -479,7 +485,7 @@ let ablation ~pool () =
 module Json = Grip_obs.Json
 module Obs = Grip_obs
 
-let table1_schema = "grip.bench.table1/4"
+let table1_schema = "grip.bench.table1/5"
 
 (* One (loop, technique, width) measurement with its scheduler stats,
    per-phase wall-clock breakdown and bottleneck verdict — the
@@ -541,11 +547,13 @@ let table1_json ~pool ~jobs ~out ~horizon () =
   (* each cell carries its own wall seconds so the harness block can
      report work time (cell_seconds) next to elapsed time
      (wall_seconds): their ratio is the measured parallel speedup *)
-  let cells =
-    table1_cells ~pool ~tag:"json" ~cell:(fun e m fu ->
+  let cells, rstats =
+    table1_cells ~pool ~tag:"json"
+      ~cell:(fun e m fu ->
         let t0 = Unix.gettimeofday () in
         let j = json_cell e m fu horizon in
         (j, Unix.gettimeofday () -. t0))
+      ()
   in
   let loops =
     List.mapi
@@ -596,6 +604,19 @@ let table1_json ~pool ~jobs ~out ~horizon () =
               ("jobs", Json.int jobs);
               ("wall_seconds", Json.Num wall_seconds);
               ("cell_seconds", Json.Num cell_seconds);
+              ( "resilience",
+                Json.Obj
+                  [
+                    ("retries", Json.int rstats.Supervisor.retries);
+                    ("sheds", Json.int rstats.Supervisor.sheds);
+                    ("quarantined", Json.int rstats.Supervisor.quarantined);
+                    ( "worker_restarts",
+                      Json.int rstats.Supervisor.worker_restarts );
+                    ( "gap_violations",
+                      Json.int rstats.Supervisor.gap_violations );
+                    ( "max_worker_gap_ms",
+                      Json.Num (rstats.Supervisor.max_gap *. 1e3) );
+                  ] );
             ] );
         ("loops", Json.List loops);
       ]
@@ -644,7 +665,18 @@ let json_validate file =
         (fun field ->
           if Option.bind (Json.member field h) Json.to_float = None then
             fail "harness: missing numeric %s" field)
-        [ "jobs"; "wall_seconds"; "cell_seconds" ]);
+        [ "jobs"; "wall_seconds"; "cell_seconds" ];
+      match Json.member "resilience" h with
+      | None -> fail "harness: missing resilience block"
+      | Some r ->
+          List.iter
+            (fun field ->
+              if Option.bind (Json.member field r) Json.to_float = None then
+                fail "harness.resilience: missing numeric %s" field)
+            [
+              "retries"; "sheds"; "quarantined"; "worker_restarts";
+              "gap_violations"; "max_worker_gap_ms";
+            ]);
   let loops =
     match Option.bind (Json.member "loops" doc) Json.to_list with
     | Some l -> l

@@ -16,6 +16,9 @@ module Obs = Grip_obs
 module Trace = Grip_obs.Trace
 module Metrics = Grip_obs.Metrics
 module Pool = Grip_parallel.Pool
+module Supervisor = Grip_parallel.Supervisor
+module Budget = Grip_robust.Budget
+module Fault = Grip_robust.Fault
 
 (* Read a whole file, closing the channel on any failure and carrying
    [Sys_error] as a structured Io error instead of an uncaught
@@ -40,13 +43,52 @@ let die e =
   Format.eprintf "grip: %a@." Grip_error.pp e;
   exit 1
 
+let invalid fmt =
+  Format.kasprintf
+    (fun msg -> die (Grip_error.make Grip_error.Io (Grip_error.Message msg)))
+    fmt
+
 let machine_of_fus fus =
-  if fus < 1 then
-    die
-      (Grip_error.make Grip_error.Io
-         (Grip_error.Message
-            (Printf.sprintf "--fus must be at least 1 (got %d)" fus)))
+  if fus < 1 then invalid "--fus must be at least 1 (got %d)" fus
   else Machine.homogeneous fus
+
+(* -- resource-argument validation ------------------------------------------
+   Out-of-range values die with a structured error; merely unreasonable
+   ones are clamped with a warning, so a fat-fingered flag degrades the
+   run instead of oversubscribing the machine or disabling a bound. *)
+
+let validate_jobs jobs =
+  if jobs < 1 then invalid "--jobs must be at least 1 (got %d)" jobs;
+  let rec_domains = Domain.recommended_domain_count () in
+  let ceiling = max 1 (4 * rec_domains) in
+  if jobs > ceiling then begin
+    Format.eprintf
+      "grip: warning: clamping --jobs %d to %d (4x the %d domain(s) this \
+       machine supports)@."
+      jobs ceiling rec_domains;
+    ceiling
+  end
+  else jobs
+
+(* milliseconds on the flag, seconds internally; 0 = no deadline *)
+let validate_deadline_ms = function
+  | None -> None
+  | Some ms when Float.is_nan ms || ms < 0.0 ->
+      invalid "--deadline-ms must be non-negative (got %g)" ms
+  | Some ms when ms = 0.0 -> None
+  | Some ms -> Some (ms /. 1e3)
+
+let validate_retries retries =
+  if retries < 0 then invalid "--retries must be non-negative (got %d)" retries;
+  if retries > 16 then begin
+    Format.eprintf "grip: warning: clamping --retries %d to 16@." retries;
+    16
+  end
+  else retries
+
+let validate_queue queue =
+  if queue < 1 then invalid "--queue must be at least 1 (got %d)" queue;
+  queue
 
 (* resolve a kernel argument: a Livermore name, a paper example, or a
    minic source file *)
@@ -93,6 +135,22 @@ let jobs_arg =
      byte-identical whatever $(docv) is."
   in
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
+let deadline_ms_arg =
+  let doc =
+    "Wall-clock budget per scheduling rung, in milliseconds.  The budget \
+     token is polled at the scheduler loop heads, so a rung that blows it \
+     abandons mid-schedule and the degradation ladder descends; 0 disables \
+     the deadline."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let retries_arg ~default =
+  let doc =
+    "Supervised re-admissions of a failed task before it is quarantined \
+     (its slot reports the final error; the rest of the batch completes)."
+  in
+  Arg.(value & opt int default & info [ "retries" ] ~docv:"N" ~doc)
 
 let fus_arg =
   let doc = "Number of homogeneous functional units." in
@@ -236,9 +294,12 @@ let print_occupancy_on ppf kern machine
 (* Legacy unguarded path, kept for the Unifiable baseline (not a ladder
    rung).  Renders into [ppf]; an oracle mismatch raises the structured
    error instead of exiting, so batch mode reports it uniformly. *)
-let schedule_unifiable ~obs ppf kern data machine horizon table show_table =
+let schedule_unifiable ~obs ~budget ?deadline ppf kern data machine horizon
+    table show_table =
   let o =
-    Pipeline.run ~obs kern ~machine ~method_:Pipeline.Unifiable ?horizon
+    Pipeline.run ~obs
+      ~budget:(Budget.sub budget ?deadline ())
+      kern ~machine ~method_:Pipeline.Unifiable ?horizon
   in
   if table then
     Format.fprintf ppf "%s@."
@@ -275,15 +336,16 @@ let schedule_unifiable ~obs ppf kern data machine horizon table show_table =
 
 (* One kernel through the guarded pipeline, report rendered into
    [ppf]; failures raise [Grip_error.Error] for the pool to surface. *)
-let schedule_one ~obs ppf (kern, data) machine method_ horizon table strictness
-    no_fallback show_table =
+let schedule_one ~obs ~budget ?deadline ppf (kern, data) machine method_
+    horizon table strictness no_fallback show_table =
   match method_ with
   | Pipeline.Unifiable ->
-      schedule_unifiable ~obs ppf kern data machine horizon table show_table
+      schedule_unifiable ~obs ~budget ?deadline ppf kern data machine horizon
+        table show_table
   | _ -> (
       match
         Pipeline.run_robust ~obs ?horizon ~strictness
-          ~fallback:(not no_fallback) ~data
+          ~fallback:(not no_fallback) ?deadline ~budget ~data
           ~start:(Pipeline.rung_of_method method_) kern ~machine
       with
       | Error e -> raise (Grip_error.Error e)
@@ -315,12 +377,10 @@ let schedule_one ~obs ppf (kern, data) machine method_ horizon table strictness
           Format.fprintf ppf "scheduling time: %.3fs@." r.Pipeline.wall_seconds)
 
 let schedule_run kernels fus method_ horizon table strictness no_fallback
-    trace_file metrics show_table jobs =
-  if jobs < 1 then
-    die
-      (Grip_error.make Grip_error.Io
-         (Grip_error.Message
-            (Printf.sprintf "--jobs must be at least 1 (got %d)" jobs)));
+    trace_file metrics show_table jobs deadline_ms retries =
+  let jobs = validate_jobs jobs in
+  let deadline = validate_deadline_ms deadline_ms in
+  let retries = validate_retries retries in
   let machine = machine_of_fus fus in
   (* resolve every kernel before spawning anything *)
   let resolved =
@@ -330,44 +390,61 @@ let schedule_run kernels fus method_ horizon table strictness no_fallback
     |> List.map Result.get_ok
   in
   (* each task: private obs handle, report rendered into a buffer *)
-  let run_one resolved_kernel =
+  let run_one ~budget resolved_kernel =
     let obs, ring, registry =
       make_obs ~want_trace:(trace_file <> None) ~want_metrics:metrics
     in
     let buf = Buffer.create 1024 in
     let ppf = Format.formatter_of_buffer buf in
-    schedule_one ~obs ppf resolved_kernel machine method_ horizon table
-      strictness no_fallback show_table;
+    schedule_one ~obs ~budget ?deadline ppf resolved_kernel machine method_
+      horizon table strictness no_fallback show_table;
     Format.pp_print_flush ppf ();
     (Buffer.contents buf, ring, registry)
   in
-  match
-    Pool.with_pool ~jobs (fun pool -> Pool.map_ordered pool ~f:run_one resolved)
-  with
-  | exception Grip_error.Error e -> die e
-  | results ->
-      List.iter (fun (report, _, _) -> print_string report) results;
-      let rings = List.filter_map (fun (_, ring, _) -> ring) results in
-      let dropped =
-        List.fold_left (fun acc r -> acc + Trace.ring_dropped r) 0 rings
-      in
-      if metrics then begin
-        let merged = Metrics.create () in
-        List.iter
-          (fun (_, _, registry) -> Metrics.merge ~into:merged registry)
-          results;
-        if rings <> [] then Metrics.add merged "trace_events_dropped" dropped;
-        Format.printf "-- metrics --@.%a" Metrics.pp merged
-      end;
-      match trace_file with
-      | Some path ->
-          if dropped > 0 then
-            Format.eprintf
-              "grip: warning: the trace ring overwrote %d event(s); %s is \
-               truncated (earliest events lost)@."
-              dropped path;
-          write_trace path rings
-      | None -> ()
+  (* the supervisor's own events (retries, restarts, quarantines) land
+     in a coordinator-side handle, merged with the per-task ones *)
+  let sup_obs, sup_ring, sup_registry =
+    make_obs ~want_trace:(trace_file <> None) ~want_metrics:metrics
+  in
+  let config = { Supervisor.default_config with Supervisor.retries } in
+  let results, _rstats =
+    Pool.with_pool ~jobs (fun pool ->
+        Supervisor.supervise ~config ~obs:sup_obs pool ~f:run_one resolved)
+  in
+  (* preserve the unsupervised contract: the lowest-index quarantined
+     failure is the run's failure *)
+  (match
+     List.find_map (function Error e -> Some e | Ok _ -> None) results
+   with
+  | Some e -> die e
+  | None -> ());
+  let results = List.map Result.get_ok results in
+  List.iter (fun (report, _, _) -> print_string report) results;
+  let rings =
+    List.filter_map (fun (_, ring, _) -> ring) results
+    @ Option.to_list sup_ring
+  in
+  let dropped =
+    List.fold_left (fun acc r -> acc + Trace.ring_dropped r) 0 rings
+  in
+  if metrics then begin
+    let merged = Metrics.create () in
+    List.iter
+      (fun (_, _, registry) -> Metrics.merge ~into:merged registry)
+      results;
+    Metrics.merge ~into:merged sup_registry;
+    if rings <> [] then Metrics.add merged "trace_events_dropped" dropped;
+    Format.printf "-- metrics --@.%a" Metrics.pp merged
+  end;
+  match trace_file with
+  | Some path ->
+      if dropped > 0 then
+        Format.eprintf
+          "grip: warning: the trace ring overwrote %d event(s); %s is \
+           truncated (earliest events lost)@."
+          dropped path;
+      write_trace path rings
+  | None -> ()
 
 let schedule_cmd =
   Cmd.v
@@ -378,7 +455,230 @@ let schedule_cmd =
     Term.(
       const schedule_run $ kernels_arg $ fus_arg $ method_arg $ horizon_arg
       $ table_arg $ strictness_arg $ no_fallback_arg $ trace_arg $ metrics_arg
-      $ show_table_arg $ jobs_arg)
+      $ show_table_arg $ jobs_arg $ deadline_ms_arg $ retries_arg ~default:0)
+
+(* -- stress ---------------------------------------------------------------- *)
+
+(* Start rung for a load-shed task: [level] rungs below [start] on the
+   PR-1 degradation ladder (saturating at the sequential reference). *)
+let descend_rung start level =
+  let rec from = function
+    | r :: rest when r <> start -> from rest
+    | rungs -> rungs
+  in
+  let rec drop n = function
+    | [ last ] -> last
+    | x :: _ when n <= 0 -> x
+    | _ :: tl -> drop (n - 1) tl
+    | [] -> Pipeline.R_sequential
+  in
+  drop level (match from Pipeline.ladder with [] -> Pipeline.ladder | l -> l)
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
+
+let stress_run kernels fus tasks jobs deadline_ms retries queue fault every
+    fault_ms poison gap_ms dump =
+  let jobs = validate_jobs jobs in
+  let deadline = validate_deadline_ms deadline_ms in
+  let retries = validate_retries retries in
+  let queue = validate_queue queue in
+  if tasks < 1 then invalid "--tasks must be at least 1 (got %d)" tasks;
+  if every < 1 then invalid "--fault-every must be at least 1 (got %d)" every;
+  if Float.is_nan fault_ms || fault_ms < 0.0 then
+    invalid "--fault-ms must be non-negative (got %g)" fault_ms;
+  if Float.is_nan gap_ms || gap_ms < 0.0 then
+    invalid "--gap-ms must be non-negative (got %g)" gap_ms;
+  let machine = machine_of_fus fus in
+  let resolved =
+    List.map
+      (fun name -> match resolve name with Ok r -> Ok r | Error e -> die e)
+      kernels
+    |> List.map Result.get_ok
+  in
+  let nk = List.length resolved in
+  let items =
+    List.init tasks (fun i -> (i, List.nth resolved (i mod nk), Pipeline.R_grip))
+  in
+  let plan =
+    Option.map
+      (fun f ->
+        let fault =
+          match f with
+          | `Crash -> Fault.Crash
+          | `Stall -> Fault.Stall (fault_ms /. 1e3)
+          | `Slow -> Fault.Slow (fault_ms /. 1e3)
+        in
+        Fault.pool_plan ~every ~transient:(not poison) fault)
+      fault
+  in
+  let gap_threshold = if gap_ms = 0.0 then None else Some (gap_ms /. 1e3) in
+  let config =
+    {
+      Supervisor.default_config with
+      Supervisor.deadline;
+      retries;
+      queue_limit = queue;
+      shed_grace = 1;
+      gap_threshold;
+      fault = plan;
+    }
+  in
+  (* the supervision story — retries, sheds, restarts, gaps — is the
+     trace this driver dumps; per-task scheduling traces stay off *)
+  let ring, tracer = Trace.ring () in
+  let registry = Metrics.create () in
+  let sup_obs = Obs.make ~trace:tracer ~metrics:registry () in
+  let degrade ~level (i, rk, start) =
+    let start' = descend_rung start level in
+    if start' = start then None
+    else Some ((i, rk, start'), Pipeline.rung_name start')
+  in
+  let f ~budget (_i, (kern, data), start) =
+    match
+      Pipeline.run_robust ?deadline ~budget ~data ~start kern ~machine
+    with
+    | Ok r -> Pipeline.rung_name r.Pipeline.rung
+    | Error e -> raise (Grip_error.Error e)
+  in
+  let t0 = Unix.gettimeofday () in
+  let results, stats =
+    Pool.with_pool ~jobs (fun pool ->
+        Supervisor.supervise ~config ~obs:sup_obs ~degrade pool ~f items)
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  let ok = List.length (List.filter Result.is_ok results) in
+  Format.printf
+    "stress: %d task(s) over %d kernel(s) on %a, jobs=%d queue=%d retries=%d%s%s@."
+    tasks nk Machine.pp machine jobs
+    (if queue = max_int then tasks else queue)
+    retries
+    (match deadline with
+    | Some d -> Printf.sprintf " deadline=%.0fms" (d *. 1e3)
+    | None -> "")
+    (match plan with
+    | Some p ->
+        Printf.sprintf " fault=%s every %d%s"
+          (Fault.pool_fault_name p.Fault.fault)
+          p.Fault.every
+          (if p.Fault.transient then "" else " (poison)")
+    | None -> "");
+  Format.printf "  completed %d/%d, %a, wall %.2fs@." ok tasks
+    Supervisor.pp_stats stats wall;
+  (* final-rung census: where did the ladder (and the load-shedder)
+     actually land the batch? *)
+  let census = Hashtbl.create 8 in
+  List.iter
+    (function
+      | Ok rung ->
+          Hashtbl.replace census rung
+            (1 + Option.value (Hashtbl.find_opt census rung) ~default:0)
+      | Error _ -> ())
+    results;
+  Hashtbl.iter (fun rung n -> Format.printf "  rung %-12s x%d@." rung n) census;
+  let lat =
+    let a = Array.of_list (List.map (fun s -> s *. 1e3) stats.Supervisor.durations) in
+    Array.sort compare a;
+    a
+  in
+  Format.printf "  latency/attempt p50=%.1fms p99=%.1fms p999=%.1fms max=%.1fms@."
+    (percentile lat 0.50) (percentile lat 0.99) (percentile lat 0.999)
+    (percentile lat 1.0);
+  Array.iteri
+    (fun w busy ->
+      let wgap =
+        List.fold_left
+          (fun acc (w', _, g) -> if w' = w then max acc g else acc)
+          0.0 stats.Supervisor.worker_gaps
+      in
+      Format.printf "  worker %d: busy %.2fs generation %d max-gap %.1fms@." w
+        busy
+        stats.Supervisor.generations.(w)
+        (wgap *. 1e3))
+    stats.Supervisor.busy;
+  List.iter
+    (fun r ->
+      match r with
+      | Error e -> Format.printf "  quarantined: %a@." Grip_error.pp e
+      | Ok _ -> ())
+    results;
+  if Supervisor.flagged stats then begin
+    Format.printf
+      "  WATCHDOG FLAGGED: %d starvation gap(s), widest %.1fms (threshold \
+       %.1fms) — dumping trace ring@."
+      stats.Supervisor.gap_violations
+      (stats.Supervisor.max_gap *. 1e3)
+      gap_ms;
+    Format.printf "  trace_events_dropped=%d@." (Trace.ring_dropped ring);
+    write_trace dump [ ring ]
+  end
+
+let stress_cmd =
+  let kernels_arg =
+    let doc =
+      "Kernels cycled over by the synthetic task burst (default LL3)."
+    in
+    Arg.(value & pos_all string [ "LL3" ] & info [] ~docv:"KERNEL" ~doc)
+  in
+  let tasks_arg =
+    let doc = "Number of scheduling tasks in the burst." in
+    Arg.(value & opt int 64 & info [ "tasks" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission-queue bound: tasks are admitted in waves of $(docv); waves \
+       past the grace window are load-shed to a cheaper rung."
+    in
+    Arg.(value & opt int max_int & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let fault_arg =
+    let doc = "Deterministic fault to inject: crash, stall or slow." in
+    Arg.(
+      value
+      & opt (some (enum [ ("crash", `Crash); ("stall", `Stall); ("slow", `Slow) ])) None
+      & info [ "fault" ] ~docv:"KIND" ~doc)
+  in
+  let every_arg =
+    let doc = "Inject the fault into every $(docv)-th task." in
+    Arg.(value & opt int 5 & info [ "fault-every" ] ~docv:"N" ~doc)
+  in
+  let fault_ms_arg =
+    let doc = "Stall/slow duration in milliseconds." in
+    Arg.(value & opt float 50.0 & info [ "fault-ms" ] ~docv:"MS" ~doc)
+  in
+  let poison_arg =
+    let doc =
+      "Make faults permanent (hit every attempt) instead of transient \
+       (first attempt only): exercises quarantine instead of retry."
+    in
+    Arg.(value & flag & info [ "poison" ] ~doc)
+  in
+  let gap_ms_arg =
+    let doc =
+      "Starvation-gap watchdog threshold in milliseconds (0 disables the \
+       watchdog's gap detection)."
+    in
+    Arg.(value & opt float 20.0 & info [ "gap-ms" ] ~docv:"MS" ~doc)
+  in
+  let dump_arg =
+    let doc = "Where to dump the trace ring when the watchdog flags the run." in
+    Arg.(
+      value
+      & opt string "grip-stress.trace.json"
+      & info [ "dump" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:
+         "Drive a bursty scheduling load through the supervised pool and \
+          report latency percentiles, per-worker gaps and resilience \
+          counters; optionally inject deterministic worker faults")
+    Term.(
+      const stress_run $ kernels_arg $ fus_arg $ tasks_arg $ jobs_arg
+      $ deadline_ms_arg $ retries_arg ~default:2 $ queue_arg $ fault_arg
+      $ every_arg $ fault_ms_arg $ poison_arg $ gap_ms_arg $ dump_arg)
 
 (* -- simulate ------------------------------------------------------------ *)
 
@@ -506,6 +806,7 @@ let () =
           [
             compile_cmd;
             schedule_cmd;
+            stress_cmd;
             simulate_cmd;
             explain_cmd;
             bench_cmd;

@@ -13,6 +13,7 @@ module Redundant = Vliw_percolation.Redundant
 module Ddg = Vliw_analysis.Ddg
 module Grip_error = Grip_robust.Grip_error
 module Guard = Grip_robust.Guard
+module Budget = Grip_robust.Budget
 module Obs = Grip_obs
 module Trace = Grip_obs.Trace
 module Metrics = Grip_obs.Metrics
@@ -110,8 +111,8 @@ let observe_occupancy (obs : Obs.t) machine p rows =
     only); [obs] receives phase spans, migration events and scheduler
     metrics (default: the null sink). *)
 let run ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
-    ?(speculation = Scheduler.Always) ?max_migrations (k : Kernel.t) ~machine
-    ~method_ =
+    ?(speculation = Scheduler.Always) ?max_migrations
+    ?(budget = Budget.unlimited) (k : Kernel.t) ~machine ~method_ =
   let rank = match rank with Some r -> r | None -> default_rank k in
   let horizon =
     match horizon with
@@ -141,6 +142,7 @@ let run ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
                 Scheduler.max_migrations =
                   Option.value max_migrations
                     ~default:base.Scheduler.max_migrations;
+                Scheduler.budget = budget;
               }
             in
             Grip_stats (Scheduler.run config ctx)
@@ -149,7 +151,7 @@ let run ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
               Ctx.make ~obs p ~machine:Machine.unlimited ~exit_live
             in
             let ctx_real = Ctx.make ~obs p ~machine ~exit_live in
-            Post_stats (Post.run ctx_unlimited ctx_real ~rank)
+            Post_stats (Post.run ~budget ctx_unlimited ctx_real ~rank)
         | Unifiable ->
             let ctx = Ctx.make ~obs p ~machine ~exit_live in
             let base = Unifiable.default_config ~rank ~ddg:(ddg_of k) ~horizon in
@@ -159,6 +161,7 @@ let run ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
                 Unifiable.max_migrations =
                   Option.value max_migrations
                     ~default:base.Unifiable.max_migrations;
+                Unifiable.budget = budget;
               }
             in
             unifiable_budget := config.Unifiable.max_migrations;
@@ -291,9 +294,12 @@ let oracle_final ~kernel ~mstr ~data ~n k p =
 (* One pipelining rung (GRiP / GRiP-no-gap / POST), guarded after every
    stage.  Intermediate structural / resource / oracle spot-checks obey
    [strictness]; fuel, deadline, convergence and the final oracle check
-   abandon the rung unconditionally. *)
+   abandon the rung unconditionally.  [budget] is the per-rung
+   cancellation token: the scheduler loop heads poll it, so a blown
+   deadline (or an external cancel) surfaces here as [Error] — a
+   ladder descent — instead of wedging the domain. *)
 let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
-    ~max_migrations ~deadline ~data (k : Kernel.t) ~machine ~method_ =
+    ~max_migrations ~deadline ~budget ~data (k : Kernel.t) ~machine ~method_ =
   let kernel = k.Kernel.name in
   let mstr = Format.asprintf "%a" Machine.pp machine in
   let* (u, t_unwind) =
@@ -329,33 +335,35 @@ let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
               ~observable:k.Kernel.observable );
       ]
   in
-  let budget =
+  let fuel =
     Option.value max_migrations
       ~default:(Scheduler.default_config ~rank).Scheduler.max_migrations
   in
   let idx_reuses0, idx_builds0 = Node.index_counters () in
-  let stats, wall_seconds =
-    Obs.timed obs Trace.Schedule (fun () ->
-        match method_ with
-        | Grip | Grip_no_gap ->
-            let ctx = Ctx.make ~obs p ~machine ~exit_live in
-            let base = Scheduler.default_config ~rank in
-            let config =
-              {
-                base with
-                Scheduler.gap_prevention = (method_ = Grip);
-                Scheduler.speculation = speculation;
-                Scheduler.max_migrations = budget;
-              }
-            in
-            Grip_stats (Scheduler.run config ctx)
-        | Post ->
-            let ctx_unlimited =
-              Ctx.make ~obs p ~machine:Machine.unlimited ~exit_live
-            in
-            let ctx_real = Ctx.make ~obs p ~machine ~exit_live in
-            Post_stats (Post.run ctx_unlimited ctx_real ~rank)
-        | Unifiable -> assert false (* not a ladder rung *))
+  let* stats, wall_seconds =
+    Budget.guard budget (fun () ->
+        Obs.timed obs Trace.Schedule (fun () ->
+            match method_ with
+            | Grip | Grip_no_gap ->
+                let ctx = Ctx.make ~obs p ~machine ~exit_live in
+                let base = Scheduler.default_config ~rank in
+                let config =
+                  {
+                    base with
+                    Scheduler.gap_prevention = (method_ = Grip);
+                    Scheduler.speculation = speculation;
+                    Scheduler.max_migrations = fuel;
+                    Scheduler.budget = budget;
+                  }
+                in
+                Grip_stats (Scheduler.run config ctx)
+            | Post ->
+                let ctx_unlimited =
+                  Ctx.make ~obs p ~machine:Machine.unlimited ~exit_live
+                in
+                let ctx_real = Ctx.make ~obs p ~machine ~exit_live in
+                Post_stats (Post.run ~budget ctx_unlimited ctx_real ~rank)
+            | Unifiable -> assert false (* not a ladder rung *)))
   in
   if Metrics.enabled obs.Obs.metrics then begin
     let idx_reuses1, idx_builds1 = Node.index_counters () in
@@ -373,7 +381,7 @@ let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
     if exhausted then
       Error
         (Grip_error.make ~kernel ~machine:mstr Grip_error.Scheduling
-           (Grip_error.Fuel_exhausted { migrations; budget }))
+           (Grip_error.Fuel_exhausted { migrations; budget = fuel }))
     else Ok ()
   in
   let* () =
@@ -469,11 +477,20 @@ let attempt_list ~obs ~strictness ~horizon ~data (k : Kernel.t) ~machine =
     fuel/deadline exhaustion, failure to converge, or a final oracle
     mismatch.  With [fallback] (default), the result is always [Ok]:
     the bottom rung is the sequential reference itself.  With
-    [~fallback:false] the first abandonment is returned as [Error]. *)
+    [~fallback:false] the first abandonment is returned as [Error].
+
+    [deadline] bounds each {e pipelining} rung: a per-rung child token
+    ({!Budget.sub}) is polled live at the scheduler loop heads, so a
+    blown deadline abandons the rung mid-schedule instead of after the
+    fact.  [budget] is the caller's (supervisor's) task-level token:
+    its cancellation flag is inherited by every rung's child, and it is
+    checked again before the list and sequential rungs, so a cancelled
+    task stops descending the ladder rather than finishing cheaply. *)
 let run_robust ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
     ?(speculation = Scheduler.Always) ?(strictness = Guard.Strict)
     ?(fallback = true) ?max_migrations ?deadline
-    ?(data = Kernel.default_data) ?(start = R_grip) (k : Kernel.t) ~machine =
+    ?(budget = Budget.unlimited) ?(data = Kernel.default_data)
+    ?(start = R_grip) (k : Kernel.t) ~machine =
   let rank = match rank with Some r -> r | None -> default_rank k in
   let horizon =
     match horizon with
@@ -509,15 +526,25 @@ let run_robust ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
           | R_grip_no_gap -> Grip_no_gap
           | _ -> Post
         in
+        let rung_budget = Budget.sub budget ?deadline () in
         Result.map
           (fun (o : outcome) -> (o.program, Some o, o.pattern))
           (attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation
-             ~strictness ~max_migrations ~deadline ~data k ~machine ~method_)
-    | R_list ->
-        Result.map
-          (fun p -> (p, None, None))
-          (attempt_list ~obs ~strictness ~horizon ~data k ~machine)
-    | R_sequential -> Ok ((Kernel.rolled k).Builder.program, None, None)
+             ~strictness ~max_migrations ~deadline ~budget:rung_budget ~data k
+             ~machine ~method_)
+    | R_list -> (
+        match
+          Budget.guard budget (fun () ->
+              attempt_list ~obs ~strictness ~horizon ~data k ~machine)
+        with
+        | Ok r -> Result.map (fun p -> (p, None, None)) r
+        | Error e -> Error e)
+    | R_sequential -> (
+        match
+          Budget.guard budget (fun () -> (Kernel.rolled k).Builder.program)
+        with
+        | Ok p -> Ok (p, None, None)
+        | Error e -> Error e)
   in
   let rec go descents = function
     | [] -> assert false (* the sequential rung never fails *)

@@ -55,12 +55,13 @@ let push_entry_down (p : Program.t) =
 
 (* Reduce node [n] until it fits, by moving ops (then the root
    conditional) up into spliced nodes. *)
-let break_node (ctx : Ctx.t) rank stats n =
+let break_node ~budget (ctx : Ctx.t) rank stats n =
   let p = ctx.Ctx.program in
   let fits id = Machine.fits ctx.Ctx.machine (Program.node p id) in
   let work = ref n in
   let guard = ref 0 in
   while (not (fits !work)) && !guard < 10_000 do
+    Grip_robust.Budget.check budget;
     incr guard;
     let target =
       if !work = p.Program.entry then begin
@@ -118,11 +119,12 @@ let break_node (ctx : Ctx.t) rank stats n =
    neither recomputes a global schedule nor maintains gaplessness,
    which is exactly the deficiency the paper attributes to applying
    resource constraints after the fact. *)
-let local_repair (ctx : Ctx.t) rank stats =
+let local_repair ~budget (ctx : Ctx.t) rank stats =
   let p = ctx.Ctx.program in
   let changed = ref true in
   let sweeps = ref 0 in
   while !changed && !sweeps < 4 do
+    Grip_robust.Budget.check budget;
     changed := false;
     incr sweeps;
     List.iter
@@ -181,17 +183,23 @@ let local_repair (ctx : Ctx.t) rank stats =
       (Program.rpo p)
   done
 
-(** [run ctx_unlimited ctx_real ~rank] — full POST pipeline over an
-    unwound program.  [ctx_unlimited] and [ctx_real] must share the
-    same program. *)
-let run (ctx_unlimited : Ctx.t) (ctx_real : Ctx.t) ~rank =
+(** [run ?budget ctx_unlimited ctx_real ~rank] — full POST pipeline
+    over an unwound program.  [ctx_unlimited] and [ctx_real] must share
+    the same program.  [budget] is polled through phase 1 (via the
+    scheduler config) and at the break/repair loop heads of phase 2. *)
+let run ?(budget = Grip_robust.Budget.unlimited) (ctx_unlimited : Ctx.t)
+    (ctx_real : Ctx.t) ~rank =
   assert (ctx_unlimited.Ctx.program == ctx_real.Ctx.program);
   let p = ctx_real.Ctx.program in
   (* Phase 1: unconstrained pipelining (gap prevention on, so the
      unlimited schedule converges) *)
   let phase1 =
     Scheduler.run
-      { (Scheduler.default_config ~rank) with Scheduler.gap_prevention = true }
+      {
+        (Scheduler.default_config ~rank) with
+        Scheduler.gap_prevention = true;
+        Scheduler.budget = budget;
+      }
       ctx_unlimited
   in
   let stats =
@@ -209,11 +217,11 @@ let run (ctx_unlimited : Ctx.t) (ctx_real : Ctx.t) ~rank =
     match offender with
     | None -> ()
     | Some n ->
-        break_node ctx_real rank stats n;
+        break_node ~budget ctx_real rank stats n;
         scan ()
   in
   scan ();
-  local_repair ctx_real rank stats;
+  local_repair ~budget ctx_real rank stats;
   stats
 
 let pp_stats ppf s =

@@ -85,6 +85,11 @@ type config = {
   gap_prevention : bool;
   speculation : speculation;
   max_migrations : int;  (** fuel against pathological graphs *)
+  budget : Grip_robust.Budget.t;
+      (** cancellation token polled once per scheduling-loop iteration:
+          deadline / fuel / external cancel raise a structured
+          [Grip_error] instead of letting a pathological cell hang its
+          domain (default {!Grip_robust.Budget.unlimited}) *)
 }
 
 let default_config ~rank =
@@ -93,6 +98,7 @@ let default_config ~rank =
     gap_prevention = false;
     speculation = Always;
     max_migrations = 1_000_000;
+    budget = Grip_robust.Budget.unlimited;
   }
 
 (* Does moving [op] from [from_] into [to_] make it speculative, and
@@ -199,6 +205,10 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
   in
   let continue_ = ref true in
   while !continue_ do
+    (* budget poll: a blown deadline / fuel cap / external cancel
+       raises here, at the loop head, so a stuck cell surfaces a
+       structured error instead of wedging the domain *)
+    Grip_robust.Budget.check config.budget;
     (* rule 3 bookkeeping is only needed while suspensions exist *)
     let node_order =
       if !suspended_count = 0 then fun _ -> 0

@@ -82,10 +82,19 @@ type config = {
   ddg : Ddg.t;
   horizon : int;
   max_migrations : int;
+  budget : Grip_robust.Budget.t;
+      (** cancellation token polled at the scheduling loop head (see
+          {!Scheduler.config}) *)
 }
 
 let default_config ~rank ~ddg ~horizon =
-  { rank; ddg; horizon; max_migrations = 1_000_000 }
+  {
+    rank;
+    ddg;
+    horizon;
+    max_migrations = 1_000_000;
+    budget = Grip_robust.Budget.unlimited;
+  }
 
 (** [schedule_node config ctx stats n] — Figure 7's [schedule(n)]:
     while resources remain and the set is non-empty, choose the best
@@ -96,6 +105,7 @@ let schedule_node ?on_sched ~last_dom_version (config : config) (ctx : Ctx.t)
   let tried : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   let continue_ = ref true in
   while !continue_ && stats.migrations < config.max_migrations do
+    Grip_robust.Budget.check config.budget;
     stats.set_computations <- stats.set_computations + 1;
     (* the set computation below consults the per-context dominator
        cache; a version change is the only thing that costs a real

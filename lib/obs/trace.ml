@@ -48,6 +48,18 @@ type event =
   | Guard_verdict of { guard : string; ok : bool; detail : string }
   | Descent of { rung : string; reason : string }
       (** the degradation ladder abandoned [rung] *)
+  | Task_retry of { task : int; attempt : int; reason : string }
+      (** the supervisor requeued task [task] for try [attempt] *)
+  | Task_shed of { task : int; rung : string }
+      (** backpressure admitted [task] at the degraded [rung] *)
+  | Task_quarantine of { task : int; attempts : int; reason : string }
+      (** [task] failed every retry and was quarantined *)
+  | Worker_restart of { worker : int; generation : int }
+      (** the supervisor replaced worker [worker] (now generation
+          [generation]) after a crash or blown deadline *)
+  | Watchdog_gap of { worker : int; task : int; gap : float }
+      (** the starvation watchdog saw worker [worker] silent for [gap]
+          seconds while running [task] *)
   | Note of string
 
 let event_name = function
@@ -59,6 +71,11 @@ let event_name = function
   | Migrate_barrier _ -> "migrate.barrier"
   | Guard_verdict _ -> "guard"
   | Descent _ -> "descent"
+  | Task_retry _ -> "supervise.retry"
+  | Task_shed _ -> "supervise.shed"
+  | Task_quarantine _ -> "supervise.quarantine"
+  | Worker_restart _ -> "supervise.restart"
+  | Watchdog_gap _ -> "watchdog.gap"
   | Note _ -> "note"
 
 let pp_event ppf = function
@@ -78,6 +95,17 @@ let pp_event ppf = function
         (if detail = "" then "" else " (" ^ detail ^ ")")
   | Descent { rung; reason } ->
       Format.fprintf ppf "descend from %s: %s" rung reason
+  | Task_retry { task; attempt; reason } ->
+      Format.fprintf ppf "retry task %d (attempt %d): %s" task attempt reason
+  | Task_shed { task; rung } ->
+      Format.fprintf ppf "shed task %d to %s" task rung
+  | Task_quarantine { task; attempts; reason } ->
+      Format.fprintf ppf "quarantine task %d after %d attempts: %s" task
+        attempts reason
+  | Worker_restart { worker; generation } ->
+      Format.fprintf ppf "restart worker %d (generation %d)" worker generation
+  | Watchdog_gap { worker; task; gap } ->
+      Format.fprintf ppf "worker %d starved %.3fs on task %d" worker gap task
   | Note s -> Format.pp_print_string ppf s
 
 (* -- sinks ---------------------------------------------------------------- *)
@@ -167,6 +195,19 @@ let chrome_args = function
         ("detail", Json.Str detail) ]
   | Descent { rung; reason } ->
       [ ("rung", Json.Str rung); ("reason", Json.Str reason) ]
+  | Task_retry { task; attempt; reason } ->
+      [ ("task", Json.int task); ("attempt", Json.int attempt);
+        ("reason", Json.Str reason) ]
+  | Task_shed { task; rung } ->
+      [ ("task", Json.int task); ("rung", Json.Str rung) ]
+  | Task_quarantine { task; attempts; reason } ->
+      [ ("task", Json.int task); ("attempts", Json.int attempts);
+        ("reason", Json.Str reason) ]
+  | Worker_restart { worker; generation } ->
+      [ ("worker", Json.int worker); ("generation", Json.int generation) ]
+  | Watchdog_gap { worker; task; gap } ->
+      [ ("worker", Json.int worker); ("task", Json.int task);
+        ("gap_s", Json.Num gap) ]
   | Note s -> [ ("note", Json.Str s) ]
 
 (** [chrome_record ~t0 ts ev] — one [trace_event] object; [ts] and

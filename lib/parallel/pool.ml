@@ -18,9 +18,15 @@
       the pool: the exception is captured per-task and, after the
       batch joins, the {e lowest-index} failure is re-raised as a
       {!Grip_error.Error} ([Grip_error.Error] payloads pass through
-      untouched; anything else is wrapped under the [Parallel] stage).
-      Lowest-index, not first-to-fail, so the error surfaced is also
-      independent of scheduling order.
+      untouched; anything else is wrapped under the [Parallel] stage
+      as {!Grip_error.Worker}, carrying the worker id and task
+      index).  Lowest-index, not first-to-fail, so the error surfaced
+      is also independent of scheduling order.
+    - {b no swallowed failures} — an exception escaping {e outside} a
+      task body (the task closures themselves never raise; this guards
+      the harness, not the tasks) still decrements the batch's pending
+      count — the submitter can not deadlock on [batch_done] — and is
+      re-raised after the join as a [Parallel]-stage error.
     - {b isolation} — tasks must not share mutable state; each
       Table-1 cell builds its own [Program.t] and gets its own
       [Grip_obs] handle, merged after the join
@@ -28,23 +34,34 @@
 
     [map_ordered] may only be called from the domain that created the
     pool, and never from inside a task (the worklist is one batch
-    deep). *)
+    deep).  Both misuses raise a structured [Parallel]-stage error
+    instead of deadlocking. *)
 
 module Grip_error = Grip_robust.Grip_error
 
 type t = {
   jobs : int;
+  owner : Domain.id;  (** the creating domain; sole legal submitter *)
   mutex : Mutex.t;
   have_work : Condition.t;  (** workers sleep here between batches *)
   batch_done : Condition.t;  (** the submitter sleeps here during one *)
-  mutable tasks : (unit -> unit) array;  (** current batch; [ [||] ] idle *)
+  mutable tasks : (int -> unit) array;
+      (** current batch, each applied to the claiming worker's id;
+          [ [||] ] idle *)
   mutable next : int;  (** next unclaimed task index *)
   mutable pending : int;  (** claimed-or-unclaimed tasks still running *)
+  mutable in_batch : bool;  (** a batch is in flight (re-entrancy guard) *)
+  mutable stray : Grip_error.t option;
+      (** first harness-level (outside-task-body) failure of the
+          current batch; re-raised after the join *)
   mutable stop : bool;
   mutable workers : unit Domain.t list;
 }
 
 let jobs t = t.jobs
+
+let misuse detail =
+  Grip_error.raise_ Grip_error.Parallel (Grip_error.Message detail)
 
 (* Claim the next unclaimed task, or [None] when the batch is drained.
    Caller must hold the mutex. *)
@@ -57,15 +74,34 @@ let claim t =
   else None
 
 (* Run one claimed task and account for its completion.  Tasks store
-   their own result/exception, so [task ()] never raises. *)
-let finish_one t task =
-  task ();
+   their own result/exception, so [task wid] never raises — but if the
+   harness itself ever does, the failure is recorded (first one wins)
+   and the pending count still reaches zero: the submitter never
+   deadlocks on [batch_done], and the error resurfaces after the
+   join. *)
+let finish_one t ~wid task =
+  let stray =
+    match task wid with
+    | () -> None
+    | exception exn ->
+        Some
+          (Grip_error.make Grip_error.Parallel
+             (Grip_error.Worker
+                {
+                  worker = wid;
+                  task = -1;
+                  detail = "harness: " ^ Printexc.to_string exn;
+                }))
+  in
   Mutex.lock t.mutex;
+  (match (stray, t.stray) with
+  | Some e, None -> t.stray <- Some e
+  | _ -> ());
   t.pending <- t.pending - 1;
   if t.pending = 0 then Condition.broadcast t.batch_done;
   Mutex.unlock t.mutex
 
-let rec worker t =
+let rec worker t ~wid =
   Mutex.lock t.mutex;
   let rec wait () =
     if t.stop then None
@@ -81,8 +117,8 @@ let rec worker t =
   match task with
   | None -> ()
   | Some task ->
-      finish_one t task;
-      worker t
+      finish_one t ~wid task;
+      worker t ~wid
 
 (** [create ?jobs ()] — a pool of [jobs] domains (the creating domain
     counts as one; [jobs - 1] are spawned).  Default:
@@ -97,18 +133,23 @@ let create ?jobs () =
   let t =
     {
       jobs;
+      owner = Domain.self ();
       mutex = Mutex.create ();
       have_work = Condition.create ();
       batch_done = Condition.create ();
       tasks = [||];
       next = 0;
       pending = 0;
+      in_batch = false;
+      stray = None;
       stop = false;
       workers = [];
     }
   in
   if jobs > 1 then
-    t.workers <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+    t.workers <-
+      List.init (jobs - 1) (fun i ->
+          Domain.spawn (fun () -> worker t ~wid:(i + 1)));
   t
 
 (** [shutdown t] — wake and join every worker.  Idempotent; the pool
@@ -121,12 +162,12 @@ let shutdown t =
   List.iter Domain.join t.workers;
   t.workers <- []
 
-let wrap_exn i = function
+let wrap_exn ~wid i = function
   | Grip_error.Error e -> e
   | exn ->
       Grip_error.make Grip_error.Parallel
-        (Grip_error.Message
-           (Printf.sprintf "task %d: %s" i (Printexc.to_string exn)))
+        (Grip_error.Worker
+           { worker = wid; task = i; detail = Printexc.to_string exn })
 
 (* Surface the lowest-index failure of a completed batch, or the
    results in input order. *)
@@ -146,11 +187,15 @@ let collect results =
         (function Ok v -> v | Error _ -> assert false)
         (Array.to_list results)
 
-(** [map_ordered t ~f items] — apply [f] to every item, fanning the
-    applications across the pool's domains, and return the results in
-    the order of [items].  Raises {!Grip_error.Error} carrying the
-    lowest-index task failure, if any. *)
-let map_ordered t ~f items =
+(** [map_ordered_worker t ~f items] — {!map_ordered} with [f] also
+    told which domain runs each application ([~worker:0] is the
+    submitting domain; workers are numbered from 1).  The supervisor
+    builds its in-flight registry on this. *)
+let map_ordered_worker t ~f items =
+  if not (Domain.self () = t.owner) then
+    misuse "Pool.map_ordered called from a non-owner domain";
+  if t.in_batch then
+    misuse "Pool.map_ordered re-entered while a batch is in flight";
   let arr = Array.of_list items in
   let n = Array.length arr in
   if n = 0 then []
@@ -158,21 +203,28 @@ let map_ordered t ~f items =
     (* inline on the calling domain; same failure contract *)
     collect
       (Array.mapi
-         (fun i x -> match f x with v -> Ok v | exception e -> Error (wrap_exn i e))
+         (fun i x ->
+           match f ~worker:0 x with
+           | v -> Ok v
+           | exception e -> Error (wrap_exn ~wid:0 i e))
          arr)
   else begin
-    let results = Array.make n (Error (wrap_exn 0 Exit)) in
+    let results = Array.make n (Error (wrap_exn ~wid:0 0 Exit)) in
     let tasks =
       Array.mapi
-        (fun i x () ->
+        (fun i x wid ->
           results.(i) <-
-            (match f x with v -> Ok v | exception e -> Error (wrap_exn i e)))
+            (match f ~worker:wid x with
+            | v -> Ok v
+            | exception e -> Error (wrap_exn ~wid i e)))
         arr
     in
     Mutex.lock t.mutex;
     t.tasks <- tasks;
     t.next <- 0;
     t.pending <- n;
+    t.in_batch <- true;
+    t.stray <- None;
     Condition.broadcast t.have_work;
     Mutex.unlock t.mutex;
     (* the submitting domain works the same queue *)
@@ -182,7 +234,7 @@ let map_ordered t ~f items =
       Mutex.unlock t.mutex;
       match task with
       | Some task ->
-          finish_one t task;
+          finish_one t ~wid:0 task;
           help ()
       | None -> ()
     in
@@ -193,9 +245,21 @@ let map_ordered t ~f items =
     done;
     t.tasks <- [||];
     t.next <- 0;
+    t.in_batch <- false;
+    let stray = t.stray in
+    t.stray <- None;
     Mutex.unlock t.mutex;
+    (match stray with Some e -> raise (Grip_error.Error e) | None -> ());
     collect results
   end
+
+(** [map_ordered t ~f items] — apply [f] to every item, fanning the
+    applications across the pool's domains, and return the results in
+    the order of [items].  Raises {!Grip_error.Error} carrying the
+    lowest-index task failure, if any.  Must be called from the
+    pool-creating domain, outside any task. *)
+let map_ordered t ~f items =
+  map_ordered_worker t ~f:(fun ~worker:_ x -> f x) items
 
 (** [with_pool ?jobs f] — create, use and shut down a pool. *)
 let with_pool ?jobs f =

@@ -206,3 +206,75 @@ let inject ~seed ?max_iter ~machine mode (p : Program.t) =
                 Printf.sprintf "perturbed an operand of op #%d in node %d"
                   x.Operation.id t;
             })
+
+(* -- pool-level faults ----------------------------------------------------- *)
+
+(** Execution-layer faults, injected by the supervised pool rather
+    than by program surgery: the way a {e worker} fails rather than
+    the way a {e schedule} is miscompiled.
+
+    - [Crash] — the task raises {!Injected_crash} (a stray, non-GRiP
+      exception: exactly what a segfaulting worker would look like to
+      the supervisor);
+    - [Stall s] — the task sleeps [s] seconds {e without polling its
+      budget} before running; the heartbeat goes silent, which is the
+      signature the starvation-gap watchdog exists to catch;
+    - [Slow s] — the task sleeps [s] seconds in small slices, polling
+      its budget between slices: latency without starvation, visible
+      to deadlines but innocent to the watchdog.
+
+    Whether a given (task, attempt) is hit is a pure function of the
+    {!pool_plan} — [(task + seed) mod every = 0], and for a
+    [transient] plan only on attempt 0 — so a chaos run is exactly
+    reproducible and a retried task deterministically succeeds. *)
+type pool_fault = Crash | Stall of float | Slow of float
+
+exception Injected_crash of { task : int; attempt : int }
+
+let () =
+  Printexc.register_printer (function
+    | Injected_crash { task; attempt } ->
+        Some
+          (Printf.sprintf "Injected_crash(task %d, attempt %d)" task attempt)
+    | _ -> None)
+
+type pool_plan = {
+  fault : pool_fault;
+  every : int;  (** tasks with [(task + seed) mod every = 0] are hit *)
+  seed : int;
+  transient : bool;
+      (** hit only the first attempt, so a retry deterministically
+          succeeds; [false] makes the fault a poison pill, exercising
+          quarantine *)
+}
+
+let pool_fault_name = function
+  | Crash -> "crash"
+  | Stall s -> Printf.sprintf "stall(%.3fs)" s
+  | Slow s -> Printf.sprintf "slow(%.3fs)" s
+
+let pp_pool_fault ppf f = Format.pp_print_string ppf (pool_fault_name f)
+
+let pool_plan ?(every = 3) ?(seed = 0) ?(transient = true) fault =
+  { fault; every = max 1 every; seed; transient }
+
+let hits plan ~task ~attempt =
+  (task + plan.seed) mod plan.every = 0
+  && ((not plan.transient) || attempt = 0)
+
+(** [trip plan ~budget ~task ~attempt] — run the planned fault for
+    this (task, attempt) if it is selected; a no-op otherwise.  Must
+    be called {e inside} the task body, on the worker domain. *)
+let trip plan ~budget ~task ~attempt =
+  if hits plan ~task ~attempt then
+    match plan.fault with
+    | Crash -> raise (Injected_crash { task; attempt })
+    | Stall s ->
+        (* no budget polls: the heartbeat flatlines for [s] seconds *)
+        Unix.sleepf s
+    | Slow s ->
+        let slices = 8 in
+        for _ = 1 to slices do
+          Budget.check budget;
+          Unix.sleepf (s /. float_of_int slices)
+        done

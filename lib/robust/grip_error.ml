@@ -35,6 +35,13 @@ type cause =
       (** the scheduler hit its migration budget and truncated *)
   | Deadline_exceeded of { elapsed : float; budget : float }
       (** wall-clock budget for the stage ran out *)
+  | Cancelled of { after : float; reason : string }
+      (** the task's cancellation token was tripped externally (the
+          supervisor's watchdog, shutdown) after [after] seconds *)
+  | Worker of { worker : int; task : int; detail : string }
+      (** a domain-pool worker failed outside a structured error: the
+          payload names the worker (domain id) and the batch task index
+          so a crashed worker is never an anonymous [Message] *)
   | Non_convergent of { horizon : int }
       (** no repeating pattern within the unwind horizon *)
   | Oracle_mismatch of { count : int; first : string }
@@ -64,6 +71,10 @@ let pp_cause ppf = function
         budget
   | Deadline_exceeded { elapsed; budget } ->
       Format.fprintf ppf "deadline exceeded (%.3fs of %.3fs)" elapsed budget
+  | Cancelled { after; reason } ->
+      Format.fprintf ppf "cancelled after %.3fs: %s" after reason
+  | Worker { worker; task; detail } ->
+      Format.fprintf ppf "worker %d, task %d: %s" worker task detail
   | Non_convergent { horizon } ->
       Format.fprintf ppf "no repeating pattern within horizon %d" horizon
   | Oracle_mismatch { count; first } ->
