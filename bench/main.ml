@@ -485,7 +485,7 @@ let ablation ~pool () =
 module Json = Grip_obs.Json
 module Obs = Grip_obs
 
-let table1_schema = "grip.bench.table1/5"
+let table1_schema = "grip.bench.table1/6"
 
 (* One (loop, technique, width) measurement with its scheduler stats,
    per-phase wall-clock breakdown and bottleneck verdict — the
@@ -500,12 +500,32 @@ let json_cell (e : Livermore.entry) method_ fu horizon =
      graph-maintenance counters the percolation core records *)
   let metrics = Obs.Metrics.create () in
   let obs = Obs.make ~prov ~metrics () in
+  (* whole-cell GC deltas: a cell runs entirely on one domain, so the
+     domain-local [Gc] counters delimit exactly this cell's work *)
+  let a0 = Gc.allocated_bytes () in
+  let q0 = Gc.quick_stat () in
   let o = Pipeline.run ~obs e.Livermore.kernel ~machine ~method_ ?horizon in
   let m = Pipeline.measure ~data:e.Livermore.data o in
   let ok =
     match Pipeline.check ~data:e.Livermore.data o with
     | Ok _ -> true
     | Error _ -> false
+  in
+  let a1 = Gc.allocated_bytes () in
+  let q1 = Gc.quick_stat () in
+  let bytes_per_word = float_of_int (Sys.word_size / 8) in
+  let gc =
+    Json.Obj
+      [
+        ("alloc_bytes", Json.Num (a1 -. a0));
+        ( "minor_collections",
+          Json.int (q1.Gc.minor_collections - q0.Gc.minor_collections) );
+        ( "major_collections",
+          Json.int (q1.Gc.major_collections - q0.Gc.major_collections) );
+        ( "promoted_bytes",
+          Json.Num ((q1.Gc.promoted_words -. q0.Gc.promoted_words)
+                    *. bytes_per_word) );
+      ]
   in
   let legality =
     let c name = Obs.Metrics.counter metrics name in
@@ -538,6 +558,7 @@ let json_cell (e : Livermore.entry) method_ fu horizon =
       ("stats", Pipeline.stats_json o.Pipeline.stats);
       ("phase_seconds", Pipeline.phase_seconds_json o.Pipeline.phase_seconds);
       ("legality", legality);
+      ("gc", gc);
       ( "bottleneck",
         Obs.Bottleneck.to_json (Grip.Explain.report ~prov o) );
     ]
@@ -734,6 +755,23 @@ let json_validate file =
                           "gc_reclaimed";
                         ]
                   | None -> fail "%s/fu%d/%s: missing legality block" name fu tech);
+                  (match Json.member "gc" c with
+                  | Some g ->
+                      List.iter
+                        (fun field ->
+                          if
+                            Option.bind (Json.member field g) Json.to_float
+                            = None
+                          then
+                            fail "%s/fu%d/%s: gc missing numeric %s" name fu
+                              tech field)
+                        [
+                          "alloc_bytes";
+                          "minor_collections";
+                          "major_collections";
+                          "promoted_bytes";
+                        ]
+                  | None -> fail "%s/fu%d/%s: missing gc block" name fu tech);
                   match Json.member "bottleneck" c with
                   | Some b ->
                       (match Option.bind (Json.member "verdict" b) Json.to_str with

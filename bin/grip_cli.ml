@@ -232,14 +232,37 @@ let make_obs ~want_trace ~want_metrics =
   let registry = if want_metrics then Metrics.create () else Metrics.disabled in
   (Obs.make ~trace:tracer ~metrics:registry (), ring, registry)
 
-let write_trace path rings =
-  let events = Trace.merge_events (List.map Trace.ring_events rings) in
+(* Deterministic Chrome tid scheme shared by every trace writer: tid 0
+   is the coordinating domain, [1 + worker] the pool workers, and
+   [100 + domain] the per-domain GC tracks from the runtime-events
+   consumer — so merged traces land on stable, labelled rows across
+   runs. *)
+let main_track events = { Trace.tid = 0; label = "main"; events }
+
+let worker_track w events =
+  {
+    Trace.tid = 1 + w;
+    label = (if w = 0 then "worker 0 (main)" else Printf.sprintf "worker %d" w);
+    events;
+  }
+
+let runtime_tracks rt =
+  List.map
+    (fun d ->
+      {
+        Trace.tid = 100 + d;
+        label = Printf.sprintf "gc domain %d" d;
+        events = Obs.Runtime.trace_events ~domain:d rt;
+      })
+    (Obs.Runtime.domains rt)
+
+let write_trace path tracks =
   match
     let oc = open_out path in
     Fun.protect
       ~finally:(fun () -> close_out_noerr oc)
       (fun () ->
-        output_string oc (Trace.chrome_string ~flows:true events);
+        output_string oc (Trace.chrome_tracks ~flows:true tracks);
         output_char oc '\n')
   with
   | () -> Format.eprintf "grip: trace written to %s@." path
@@ -389,8 +412,10 @@ let schedule_run kernels fus method_ horizon table strictness no_fallback
       kernels
     |> List.map Result.get_ok
   in
-  (* each task: private obs handle, report rendered into a buffer *)
-  let run_one ~budget resolved_kernel =
+  (* each task: private obs handle, report rendered into a buffer;
+     the executing worker rides along so the trace writer can place
+     the task's ring on that worker's Chrome track *)
+  let run_one ~worker ~budget resolved_kernel =
     let obs, ring, registry =
       make_obs ~want_trace:(trace_file <> None) ~want_metrics:metrics
     in
@@ -399,18 +424,23 @@ let schedule_run kernels fus method_ horizon table strictness no_fallback
     schedule_one ~obs ~budget ?deadline ppf resolved_kernel machine method_
       horizon table strictness no_fallback show_table;
     Format.pp_print_flush ppf ();
-    (Buffer.contents buf, ring, registry)
+    (Buffer.contents buf, ring, registry, worker)
   in
   (* the supervisor's own events (retries, restarts, quarantines) land
      in a coordinator-side handle, merged with the per-task ones *)
   let sup_obs, sup_ring, sup_registry =
     make_obs ~want_trace:(trace_file <> None) ~want_metrics:metrics
   in
+  (* with tracing on, the runtime-events consumer captures per-domain
+     GC spans for the trace's gc tracks *)
+  let rt = if trace_file <> None then Some (Obs.Runtime.start ()) else None in
   let config = { Supervisor.default_config with Supervisor.retries } in
   let results, _rstats =
     Pool.with_pool ~jobs (fun pool ->
-        Supervisor.supervise ~config ~obs:sup_obs pool ~f:run_one resolved)
+        Supervisor.supervise_worker ~config ~obs:sup_obs pool ~f:run_one
+          resolved)
   in
+  Option.iter Obs.Runtime.stop rt;
   (* preserve the unsupervised contract: the lowest-index quarantined
      failure is the run's failure *)
   (match
@@ -419,9 +449,9 @@ let schedule_run kernels fus method_ horizon table strictness no_fallback
   | Some e -> die e
   | None -> ());
   let results = List.map Result.get_ok results in
-  List.iter (fun (report, _, _) -> print_string report) results;
+  List.iter (fun (report, _, _, _) -> print_string report) results;
   let rings =
-    List.filter_map (fun (_, ring, _) -> ring) results
+    List.filter_map (fun (_, ring, _, _) -> ring) results
     @ Option.to_list sup_ring
   in
   let dropped =
@@ -430,7 +460,7 @@ let schedule_run kernels fus method_ horizon table strictness no_fallback
   if metrics then begin
     let merged = Metrics.create () in
     List.iter
-      (fun (_, _, registry) -> Metrics.merge ~into:merged registry)
+      (fun (_, _, registry, _) -> Metrics.merge ~into:merged registry)
       results;
     Metrics.merge ~into:merged sup_registry;
     if rings <> [] then Metrics.add merged "trace_events_dropped" dropped;
@@ -443,7 +473,29 @@ let schedule_run kernels fus method_ horizon table strictness no_fallback
           "grip: warning: the trace ring overwrote %d event(s); %s is \
            truncated (earliest events lost)@."
           dropped path;
-      write_trace path rings
+      let worker_tracks =
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun (_, ring, _, w) ->
+            Option.iter
+              (fun r ->
+                let prev = Option.value (Hashtbl.find_opt tbl w) ~default:[] in
+                Hashtbl.replace tbl w (Trace.ring_events r :: prev))
+              ring)
+          results;
+        Hashtbl.fold
+          (fun w evss acc -> worker_track w (Trace.merge_events evss) :: acc)
+          tbl []
+        |> List.sort (fun a b -> compare a.Trace.tid b.Trace.tid)
+      in
+      let tracks =
+        (match sup_ring with
+        | Some r -> [ main_track (Trace.ring_events r) ]
+        | None -> [])
+        @ worker_tracks
+        @ (match rt with Some rt -> runtime_tracks rt | None -> [])
+      in
+      write_trace path tracks
   | None -> ()
 
 let schedule_cmd =
@@ -543,12 +595,26 @@ let stress_run kernels fus tasks jobs deadline_ms retries queue fault every
     | Ok r -> Pipeline.rung_name r.Pipeline.rung
     | Error e -> raise (Grip_error.Error e)
   in
+  (* with the gap watchdog on, capture GC spans so flagged gaps that
+     are really runtime pauses report as gc_pause, not stall *)
+  let rt = if gap_threshold <> None then Some (Obs.Runtime.start ()) else None in
+  let gap_cause ~t0 ~t1 =
+    match rt with
+    | None -> "stall"
+    | Some rt ->
+        Obs.Runtime.poll rt;
+        if Obs.Runtime.gc_overlap rt ~t0 ~t1 >= 0.5 *. (t1 -. t0) then
+          "gc_pause"
+        else "stall"
+  in
   let t0 = Unix.gettimeofday () in
   let results, stats =
     Pool.with_pool ~jobs (fun pool ->
-        Supervisor.supervise ~config ~obs:sup_obs ~degrade pool ~f items)
+        Supervisor.supervise ~config ~obs:sup_obs ~degrade ~gap_cause pool ~f
+          items)
   in
   let wall = Unix.gettimeofday () -. t0 in
+  Option.iter Obs.Runtime.stop rt;
   let ok = List.length (List.filter Result.is_ok results) in
   Format.printf
     "stress: %d task(s) over %d kernel(s) on %a, jobs=%d queue=%d retries=%d%s%s@."
@@ -588,15 +654,17 @@ let stress_run kernels fus tasks jobs deadline_ms retries queue fault every
     (percentile lat 1.0);
   Array.iteri
     (fun w busy ->
-      let wgap =
+      let wgap, wcause =
         List.fold_left
-          (fun acc (w', _, g) -> if w' = w then max acc g else acc)
-          0.0 stats.Supervisor.worker_gaps
+          (fun ((acc, _) as keep) (w', _, g, cause) ->
+            if w' = w && g > acc then (g, cause) else keep)
+          (0.0, "stall") stats.Supervisor.worker_gaps
       in
-      Format.printf "  worker %d: busy %.2fs generation %d max-gap %.1fms@." w
-        busy
+      Format.printf "  worker %d: busy %.2fs generation %d max-gap %.1fms%s@."
+        w busy
         stats.Supervisor.generations.(w)
-        (wgap *. 1e3))
+        (wgap *. 1e3)
+        (if wgap > 0.0 then " (" ^ wcause ^ ")" else ""))
     stats.Supervisor.busy;
   List.iter
     (fun r ->
@@ -605,14 +673,22 @@ let stress_run kernels fus tasks jobs deadline_ms retries queue fault every
       | Ok _ -> ())
     results;
   if Supervisor.flagged stats then begin
+    let stalls, gc_pauses =
+      List.fold_left
+        (fun (s, g) (_, _, _, cause) ->
+          if cause = "gc_pause" then (s, g + 1) else (s + 1, g))
+        (0, 0) stats.Supervisor.worker_gaps
+    in
     Format.printf
-      "  WATCHDOG FLAGGED: %d starvation gap(s), widest %.1fms (threshold \
-       %.1fms) — dumping trace ring@."
-      stats.Supervisor.gap_violations
+      "  WATCHDOG FLAGGED: %d starvation gap(s) (%d stall, %d gc_pause), \
+       widest %.1fms (threshold %.1fms) — dumping trace ring@."
+      stats.Supervisor.gap_violations stalls gc_pauses
       (stats.Supervisor.max_gap *. 1e3)
       gap_ms;
     Format.printf "  trace_events_dropped=%d@." (Trace.ring_dropped ring);
-    write_trace dump [ ring ]
+    write_trace dump
+      (main_track (Trace.ring_events ring)
+      :: (match rt with Some rt -> runtime_tracks rt | None -> []))
   end
 
 let stress_cmd =
@@ -679,6 +755,123 @@ let stress_cmd =
       const stress_run $ kernels_arg $ fus_arg $ tasks_arg $ jobs_arg
       $ deadline_ms_arg $ retries_arg ~default:2 $ queue_arg $ fault_arg
       $ every_arg $ fault_ms_arg $ poison_arg $ gap_ms_arg $ dump_arg)
+
+(* -- profile --------------------------------------------------------------- *)
+
+(* Run a kernel (or a batch of copies, with --jobs) through the full
+   pipeline with metrics, ring tracing and the runtime-events consumer
+   all on, then print the phase attribution table and the
+   parallel-efficiency block from the collected data.  The rendering
+   itself is [Obs.Profile] — pure functions over the merged registry,
+   the recovered phase windows and the captured GC spans. *)
+let profile_run kernel fus jobs tasks trace_file =
+  let jobs = validate_jobs jobs in
+  if tasks < 1 then invalid "--tasks must be at least 1 (got %d)" tasks;
+  let machine = machine_of_fus fus in
+  let kern, data = match resolve kernel with Ok r -> r | Error e -> die e in
+  let rt = Obs.Runtime.start () in
+  let run_one ~worker ~budget:_ () =
+    let obs, ring, registry = make_obs ~want_trace:true ~want_metrics:true in
+    let o = Pipeline.run ~obs kern ~machine ~method_:Pipeline.Grip in
+    let m = Pipeline.measure ~obs ~data o in
+    (m.Grip.Speedup.speedup, Option.get ring, registry, worker)
+  in
+  let sup_obs, sup_ring, sup_registry =
+    make_obs ~want_trace:true ~want_metrics:true
+  in
+  let t0 = Unix.gettimeofday () in
+  let results, stats =
+    Pool.with_pool ~jobs (fun pool ->
+        Supervisor.supervise_worker ~obs:sup_obs pool ~f:run_one
+          (List.init tasks (fun _ -> ())))
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Obs.Runtime.stop rt;
+  (match
+     List.find_map (function Error e -> Some e | Ok _ -> None) results
+   with
+  | Some e -> die e
+  | None -> ());
+  let results = List.map Result.get_ok results in
+  (* merge per-task registries and rings into one run-wide view *)
+  let merged = Metrics.create () in
+  List.iter (fun (_, _, registry, _) -> Metrics.merge ~into:merged registry)
+    results;
+  Metrics.merge ~into:merged sup_registry;
+  let events =
+    Trace.merge_events
+      (List.map (fun (_, ring, _, _) -> Trace.ring_events ring) results)
+  in
+  let spans = Obs.Runtime.spans rt in
+  let windows = Obs.Profile.phase_windows events in
+  let rows = Obs.Profile.rows ~metrics:merged ~windows ~spans in
+  let speedup =
+    match results with (s, _, _, _) :: _ -> s | [] -> 0.0
+  in
+  Format.printf "profile: %s on %a, jobs=%d task(s)=%d, speedup %.2f@.@."
+    kern.Grip.Kernel.name Machine.pp machine jobs tasks speedup;
+  Obs.Profile.pp_rows Format.std_formatter rows;
+  Format.printf "@.";
+  let effs =
+    List.init jobs (fun w ->
+        let minor_s, major_s =
+          Obs.Runtime.gc_seconds ~window:(t0, t0 +. wall) rt ~domain:w
+        in
+        {
+          Obs.Profile.domain = w;
+          label = (if w = 0 then "main" else "worker");
+          busy_s = stats.Supervisor.busy.(w);
+          gc_s = minor_s +. major_s;
+        })
+  in
+  Obs.Profile.pp_efficiency Format.std_formatter ~jobs ~wall_s:wall effs;
+  if not (Obs.Runtime.calibrated rt) then
+    Format.printf
+      "  (runtime-events clock uncalibrated: GC pauses unavailable)@.";
+  if Obs.Runtime.lost rt > 0 then
+    Format.printf "  runtime events lost: %d@." (Obs.Runtime.lost rt);
+  match trace_file with
+  | Some path ->
+      let worker_tracks =
+        let tbl = Hashtbl.create 8 in
+        List.iter
+          (fun (_, ring, _, w) ->
+            let prev = Option.value (Hashtbl.find_opt tbl w) ~default:[] in
+            Hashtbl.replace tbl w (Trace.ring_events ring :: prev))
+          results;
+        Hashtbl.fold
+          (fun w evss acc -> worker_track w (Trace.merge_events evss) :: acc)
+          tbl []
+        |> List.sort (fun a b -> compare a.Trace.tid b.Trace.tid)
+      in
+      let tracks =
+        (match sup_ring with
+        | Some r -> [ main_track (Trace.ring_events r) ]
+        | None -> [])
+        @ worker_tracks @ runtime_tracks rt
+      in
+      write_trace path tracks
+  | None -> ()
+
+let profile_cmd =
+  let tasks_arg =
+    let doc =
+      "How many copies of the kernel to schedule (with --jobs they spread \
+       over the pool, making the parallel-efficiency block meaningful)."
+    in
+    Arg.(value & opt int 1 & info [ "tasks" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Schedule a kernel with GC/allocation telemetry on and print a \
+          per-phase attribution table (wall seconds, allocated bytes, \
+          minor/major collections, max GC pause) plus a \
+          parallel-efficiency block (per-worker busy vs. GC-stall time \
+          and a collection-barrier estimate)")
+    Term.(
+      const profile_run $ kernel_arg $ fus_arg $ jobs_arg $ tasks_arg
+      $ trace_arg)
 
 (* -- simulate ------------------------------------------------------------ *)
 
@@ -807,6 +1000,7 @@ let () =
             compile_cmd;
             schedule_cmd;
             stress_cmd;
+            profile_cmd;
             simulate_cmd;
             explain_cmd;
             bench_cmd;

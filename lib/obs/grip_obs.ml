@@ -17,6 +17,8 @@ module Metrics = Metrics
 module Provenance = Provenance
 module Bottleneck = Bottleneck
 module Bench_diff = Bench_diff
+module Runtime = Runtime
+module Profile = Profile
 
 type t = { trace : Trace.t; metrics : Metrics.t; prov : Provenance.t }
 
@@ -34,19 +36,46 @@ let enabled t =
 (** [timed t phase f] — run [f] inside a [phase] span, accumulate its
     wall time under [phase.<name>], and return (result, seconds).  The
     timing pair is returned even when [t] is {!null}, so drivers can
-    report per-phase seconds without enabling observability. *)
+    report per-phase seconds without enabling observability.
+
+    When metrics are enabled, the span boundaries also sample the
+    domain-local GC ([Gc.allocated_bytes] / [Gc.quick_stat]) and
+    accumulate the deltas under [gc.alloc_bytes.phase.<name>],
+    [gc.minor.phase.<name>] and [gc.major.phase.<name>], plus the
+    [gc.top_heap_words] high-water gauge.  Valid per phase because a
+    task runs entirely on one domain; on the null registry the extra
+    cost is the existing boolean test. *)
 let timed t phase f =
   Trace.emit t.trace (Trace.Span_begin phase);
+  let sample = Metrics.enabled t.metrics in
+  let a0 = if sample then Gc.allocated_bytes () else 0.0 in
+  let q0 = if sample then Some (Gc.quick_stat ()) else None in
   let t0 = Unix.gettimeofday () in
   let finish () = Unix.gettimeofday () -. t0 in
+  let record dt =
+    Trace.emit t.trace (Trace.Span_end phase);
+    let name = Trace.phase_name phase in
+    Metrics.add_time t.metrics ("phase." ^ name) dt;
+    match q0 with
+    | None -> ()
+    | Some q0 ->
+        let a1 = Gc.allocated_bytes () in
+        let q1 = Gc.quick_stat () in
+        Metrics.add t.metrics ("gc.alloc_bytes.phase." ^ name)
+          (int_of_float (a1 -. a0));
+        Metrics.add t.metrics ("gc.minor.phase." ^ name)
+          (q1.Gc.minor_collections - q0.Gc.minor_collections);
+        Metrics.add t.metrics ("gc.major.phase." ^ name)
+          (q1.Gc.major_collections - q0.Gc.major_collections);
+        Metrics.gauge_max t.metrics "gc.top_heap_words"
+          (float_of_int q1.Gc.top_heap_words)
+  in
   match f () with
   | v ->
       let dt = finish () in
-      Trace.emit t.trace (Trace.Span_end phase);
-      Metrics.add_time t.metrics ("phase." ^ Trace.phase_name phase) dt;
+      record dt;
       (v, dt)
   | exception e ->
       let dt = finish () in
-      Trace.emit t.trace (Trace.Span_end phase);
-      Metrics.add_time t.metrics ("phase." ^ Trace.phase_name phase) dt;
+      record dt;
       raise e

@@ -14,7 +14,13 @@
     - [hist schedule.slot_occupancy] — operations per instruction of
       the final schedule
     - [time phase.<name>] — accumulated wall seconds per pipeline
-      phase. *)
+      phase
+    - [gc.alloc_bytes.phase.<name> / gc.minor.phase.<name> /
+      gc.major.phase.<name>] — per-phase allocation and collection
+      deltas sampled by [Grip_obs.timed]
+    - [gauge gc.top_heap_words / gc.max_pause_ms.<phase>] — high-water
+      readings with set-within-a-registry, max-across-merge
+      semantics. *)
 
 type hist = {
   bounds : int array;  (** ascending inclusive upper bounds *)
@@ -29,6 +35,7 @@ type t = {
   counters : (string, int ref) Hashtbl.t;
   hists : (string, hist) Hashtbl.t;
   times : (string, float ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
 }
 
 let create () =
@@ -37,6 +44,7 @@ let create () =
     counters = Hashtbl.create 16;
     hists = Hashtbl.create 8;
     times = Hashtbl.create 8;
+    gauges = Hashtbl.create 8;
   }
 
 let disabled =
@@ -45,6 +53,7 @@ let disabled =
     counters = Hashtbl.create 0;
     hists = Hashtbl.create 0;
     times = Hashtbl.create 0;
+    gauges = Hashtbl.create 0;
   }
 
 let enabled t = t.enabled
@@ -113,20 +122,43 @@ let add_time t name dt =
 let time t name =
   match Hashtbl.find_opt t.times name with Some r -> !r | None -> 0.0
 
+(* -- gauges --------------------------------------------------------------- *)
+
+(** [gauge_set t name v] — overwrite gauge [name] with [v] (last
+    write wins within a registry). *)
+let gauge_set t name v =
+  if t.enabled then
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.replace t.gauges name (ref v)
+
+(** [gauge_max t name v] — keep the high-water mark: record [v] only
+    if it exceeds the current reading (or the gauge is unset). *)
+let gauge_max t name v =
+  if t.enabled then
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> if v > !r then r := v
+    | None -> Hashtbl.replace t.gauges name (ref v)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with Some r -> !r | None -> 0.0
+
 (* -- merge ---------------------------------------------------------------- *)
 
 (** [merge ~into src] — fold [src] into [into]: counters and times
-    add, histograms combine bucket-wise.  Commutative and associative
-    (up to the registry's sorted rendering), so per-domain registries
-    from a parallel run collapse into one coherent report in any join
-    order.  Histograms recorded under the same name must share bucket
-    bounds (they do when both sides ran the same instrumented code);
-    mismatched bounds raise [Invalid_argument].  Merging from or into
-    a disabled registry is a no-op. *)
+    add, gauges keep the maximum, histograms combine bucket-wise.
+    Commutative and associative (up to the registry's sorted
+    rendering), so per-domain registries from a parallel run collapse
+    into one coherent report in any join order.  Histograms recorded
+    under the same name must share bucket bounds (they do when both
+    sides ran the same instrumented code); mismatched bounds raise
+    [Invalid_argument].  Merging from or into a disabled registry is
+    a no-op. *)
 let merge ~into src =
   if into.enabled && src.enabled then begin
     Hashtbl.iter (fun name r -> add into name !r) src.counters;
     Hashtbl.iter (fun name r -> add_time into name !r) src.times;
+    Hashtbl.iter (fun name r -> gauge_max into name !r) src.gauges;
     Hashtbl.iter
       (fun name (h : hist) ->
         match Hashtbl.find_opt into.hists name with
@@ -173,6 +205,9 @@ let pp ppf t =
       (fun k -> Format.fprintf ppf "%-40s %.6fs@." ("time " ^ k) (time t k))
       (sorted_keys t.times);
     List.iter
+      (fun k -> Format.fprintf ppf "%-40s %g@." ("gauge " ^ k) (gauge t k))
+      (sorted_keys t.gauges);
+    List.iter
       (fun k ->
         let h = Hashtbl.find t.hists k in
         let mean =
@@ -213,6 +248,10 @@ let to_json t =
       ( "times",
         Json.Obj
           (List.map (fun k -> (k, Json.Num (time t k))) (sorted_keys t.times))
+      );
+      ( "gauges",
+        Json.Obj
+          (List.map (fun k -> (k, Json.Num (gauge t k))) (sorted_keys t.gauges))
       );
       ( "histograms",
         Json.Obj

@@ -1,0 +1,152 @@
+(** Phase-level runtime attribution: turn a metrics registry, a ring
+    trace and a set of captured GC spans into the `grip profile`
+    report.
+
+    Everything here is a pure function of already-collected data —
+    the CLI runs the pipeline with a ring tracer, a metrics registry
+    and a {!Runtime} consumer, then hands the three to {!rows} /
+    {!pp_rows} / {!pp_efficiency}.  Tests exercise the same functions
+    on canned inputs, so the report format is golden-testable without
+    live timings. *)
+
+type row = {
+  phase : string;
+  wall_s : float;
+  alloc_bytes : int;
+  minor : int;
+  major : int;
+  max_pause_s : float;
+}
+
+(** The canonical pipeline phases, in execution order.  Ladder-rung
+    stage spans nest {e around} these, so summing over this list never
+    double-counts a phase. *)
+let canonical_phases = [ "unwind"; "redundancy"; "schedule"; "converge"; "measure" ]
+
+(** [phase_windows events] — recover per-phase wall-clock windows from
+    ring events: each [Span_begin]/[Span_end] pair for the same phase
+    name yields one [(t0, t1)] window (nesting-aware per name). *)
+let phase_windows events =
+  let stacks = Hashtbl.create 8 in
+  let windows = Hashtbl.create 8 in
+  List.iter
+    (fun (ts, ev) ->
+      match ev with
+      | Trace.Span_begin p ->
+          let name = Trace.phase_name p in
+          let st =
+            match Hashtbl.find_opt stacks name with
+            | Some st -> st
+            | None ->
+                let st = ref [] in
+                Hashtbl.replace stacks name st;
+                st
+          in
+          st := ts :: !st
+      | Trace.Span_end p -> (
+          let name = Trace.phase_name p in
+          match Hashtbl.find_opt stacks name with
+          | Some ({ contents = t0 :: rest } as st) ->
+              st := rest;
+              let ws =
+                match Hashtbl.find_opt windows name with
+                | Some ws -> ws
+                | None ->
+                    let ws = ref [] in
+                    Hashtbl.replace windows name ws;
+                    ws
+              in
+              ws := (t0, ts) :: !ws
+          | _ -> ())
+      | _ -> ())
+    events;
+  Hashtbl.fold (fun name ws acc -> (name, List.rev !ws) :: acc) windows []
+
+(** [rows ~metrics ~windows ~spans] — one {!row} per canonical phase
+    that recorded any time or allocation: wall seconds and GC deltas
+    from the registry's [phase.*] / [gc.*.phase.*] entries, max pause
+    from the longest GC [span] overlapping any of the phase's
+    [windows]. *)
+let rows ~metrics ~windows ~spans =
+  List.filter_map
+    (fun phase ->
+      let wall_s = Metrics.time metrics ("phase." ^ phase) in
+      let alloc_bytes = Metrics.counter metrics ("gc.alloc_bytes.phase." ^ phase) in
+      if wall_s = 0.0 && alloc_bytes = 0 then None
+      else
+        let minor = Metrics.counter metrics ("gc.minor.phase." ^ phase) in
+        let major = Metrics.counter metrics ("gc.major.phase." ^ phase) in
+        let ws =
+          match List.assoc_opt phase windows with Some ws -> ws | None -> []
+        in
+        let max_pause_s =
+          List.fold_left
+            (fun acc (t0, t1) ->
+              List.fold_left
+                (fun acc (s : Runtime.span) ->
+                  if s.t1 > t0 && s.t0 < t1 then Float.max acc (s.t1 -. s.t0)
+                  else acc)
+                acc spans)
+            0.0 ws
+        in
+        Some { phase; wall_s; alloc_bytes; minor; major; max_pause_s })
+    canonical_phases
+
+let human_bytes b =
+  let fb = float_of_int b in
+  if b < 1024 then Printf.sprintf "%dB" b
+  else if fb < 1024.0 *. 1024.0 then Printf.sprintf "%.1fKB" (fb /. 1024.0)
+  else if fb < 1024.0 *. 1024.0 *. 1024.0 then
+    Printf.sprintf "%.1fMB" (fb /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.2fGB" (fb /. (1024.0 *. 1024.0 *. 1024.0))
+
+(** [pp_rows ppf rows] — the phase attribution table, one line per
+    phase plus a TOTAL line. *)
+let pp_rows ppf rows =
+  Format.fprintf ppf "%-12s %10s %10s %7s %7s %12s@." "phase" "wall(s)"
+    "alloc" "minor" "major" "max pause";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-12s %10.4f %10s %7d %7d %9.3fms@." r.phase
+        r.wall_s (human_bytes r.alloc_bytes) r.minor r.major
+        (r.max_pause_s *. 1e3))
+    rows;
+  let tw, ta, tmi, tma, tp =
+    List.fold_left
+      (fun (tw, ta, tmi, tma, tp) r ->
+        ( tw +. r.wall_s,
+          ta + r.alloc_bytes,
+          tmi + r.minor,
+          tma + r.major,
+          Float.max tp r.max_pause_s ))
+      (0.0, 0, 0, 0, 0.0) rows
+  in
+  Format.fprintf ppf "%-12s %10.4f %10s %7d %7d %9.3fms@." "TOTAL" tw
+    (human_bytes ta) tmi tma (tp *. 1e3)
+
+type domain_eff = { domain : int; label : string; busy_s : float; gc_s : float }
+(** One parallel-efficiency line: ring/domain id, display label
+    ("main", "worker 2", ...), seconds spent running tasks and seconds
+    spent in captured GC spans. *)
+
+(** [pp_efficiency ppf ~jobs ~wall_s effs] — the parallel-efficiency
+    block: per-domain busy vs. GC-stall seconds (as fractions of the
+    run's wall time) and an aggregate minor-barrier estimate.  OCaml 5
+    minor collections are stop-the-world across all domains, so the
+    sum of per-domain GC seconds approximates the domain-seconds the
+    pool spent stopped at collection barriers. *)
+let pp_efficiency ppf ~jobs ~wall_s effs =
+  Format.fprintf ppf "parallel efficiency (jobs=%d, wall %.4fs):@." jobs wall_s;
+  let pct x = if wall_s > 0.0 then 100.0 *. x /. wall_s else 0.0 in
+  List.iter
+    (fun e ->
+      Format.fprintf ppf "  domain %d (%s): busy %.4fs (%.1f%%)  gc %.4fs (%.1f%%)@."
+        e.domain e.label e.busy_s (pct e.busy_s) e.gc_s (pct e.gc_s))
+    effs;
+  let barrier = List.fold_left (fun acc e -> acc +. e.gc_s) 0.0 effs in
+  let denom = wall_s *. float_of_int (max 1 jobs) in
+  Format.fprintf ppf
+    "  GC barrier estimate: %.4fs domain-seconds stopped (%.1f%% of %d x wall)@."
+    barrier
+    (if denom > 0.0 then 100.0 *. barrier /. denom else 0.0)
+    (max 1 jobs)

@@ -57,9 +57,18 @@ type event =
   | Worker_restart of { worker : int; generation : int }
       (** the supervisor replaced worker [worker] (now generation
           [generation]) after a crash or blown deadline *)
-  | Watchdog_gap of { worker : int; task : int; gap : float }
+  | Watchdog_gap of { worker : int; task : int; gap : float; cause : string }
       (** the starvation watchdog saw worker [worker] silent for [gap]
-          seconds while running [task] *)
+          seconds while running [task]; [cause] classifies the gap
+          ("stall", or "gc_pause" when it overlaps a captured GC
+          span) *)
+  | Runtime_span of { domain : int; kind : string; dur : float }
+      (** a runtime-event span (e.g. a "minor" or "major" GC slice) on
+          OCaml domain [domain], lasting [dur] seconds from the event's
+          timestamp *)
+  | Runtime_mark of { domain : int; kind : string }
+      (** an instantaneous runtime lifecycle event (domain spawn /
+          terminate, ring start) on domain [domain] *)
   | Note of string
 
 let event_name = function
@@ -76,6 +85,8 @@ let event_name = function
   | Task_quarantine _ -> "supervise.quarantine"
   | Worker_restart _ -> "supervise.restart"
   | Watchdog_gap _ -> "watchdog.gap"
+  | Runtime_span { kind; _ } -> "runtime." ^ kind
+  | Runtime_mark { kind; _ } -> "runtime." ^ kind
   | Note _ -> "note"
 
 let pp_event ppf = function
@@ -104,8 +115,13 @@ let pp_event ppf = function
         attempts reason
   | Worker_restart { worker; generation } ->
       Format.fprintf ppf "restart worker %d (generation %d)" worker generation
-  | Watchdog_gap { worker; task; gap } ->
-      Format.fprintf ppf "worker %d starved %.3fs on task %d" worker gap task
+  | Watchdog_gap { worker; task; gap; cause } ->
+      Format.fprintf ppf "worker %d starved %.3fs on task %d (%s)" worker gap
+        task cause
+  | Runtime_span { domain; kind; dur } ->
+      Format.fprintf ppf "runtime %s on domain %d (%.6fs)" kind domain dur
+  | Runtime_mark { domain; kind } ->
+      Format.fprintf ppf "runtime %s on domain %d" kind domain
   | Note s -> Format.pp_print_string ppf s
 
 (* -- sinks ---------------------------------------------------------------- *)
@@ -205,19 +221,27 @@ let chrome_args = function
         ("reason", Json.Str reason) ]
   | Worker_restart { worker; generation } ->
       [ ("worker", Json.int worker); ("generation", Json.int generation) ]
-  | Watchdog_gap { worker; task; gap } ->
+  | Watchdog_gap { worker; task; gap; cause } ->
       [ ("worker", Json.int worker); ("task", Json.int task);
-        ("gap_s", Json.Num gap) ]
+        ("gap_s", Json.Num gap); ("cause", Json.Str cause) ]
+  | Runtime_span { domain; kind; dur } ->
+      [ ("domain", Json.int domain); ("kind", Json.Str kind);
+        ("dur_s", Json.Num dur) ]
+  | Runtime_mark { domain; kind } ->
+      [ ("domain", Json.int domain); ("kind", Json.Str kind) ]
   | Note s -> [ ("note", Json.Str s) ]
 
-(** [chrome_record ~t0 ts ev] — one [trace_event] object; [ts] and
-    [t0] in seconds, the record in microseconds since [t0]. *)
-let chrome_record ~t0 ts ev =
+(** [chrome_record ?tid ~t0 ts ev] — one [trace_event] object; [ts]
+    and [t0] in seconds, the record in microseconds since [t0], placed
+    on Chrome track [tid] (default 1).  {!Runtime_span} events render
+    as complete ("X") slices carrying their duration. *)
+let chrome_record ?(tid = 1) ~t0 ts ev =
   let us = (ts -. t0) *. 1e6 in
   let name, ph =
     match ev with
     | Span_begin p -> (phase_name p, "B")
     | Span_end p -> (phase_name p, "E")
+    | Runtime_span _ -> (event_name ev, "X")
     | ev -> (event_name ev, "i")
   in
   let base =
@@ -227,14 +251,19 @@ let chrome_record ~t0 ts ev =
       ("ph", Json.Str ph);
       ("ts", Json.Num us);
       ("pid", Json.int 1);
-      ("tid", Json.int 1);
+      ("tid", Json.int tid);
     ]
+  in
+  let dur =
+    match ev with
+    | Runtime_span { dur; _ } -> [ ("dur", Json.Num (dur *. 1e6)) ]
+    | _ -> []
   in
   let scope = if ph = "i" then [ ("s", Json.Str "t") ] else [] in
   let args =
     match chrome_args ev with [] -> [] | a -> [ ("args", Json.Obj a) ]
   in
-  Json.Obj (base @ scope @ args)
+  Json.Obj (base @ dur @ scope @ args)
 
 (** [chrome buf] — a tracer streaming [trace_event] records into
     [buf]; {!flush} completes the JSON array (idempotent). *)
@@ -330,3 +359,49 @@ let chrome_string ?(flows = false) events =
   let base = List.map (fun (ts, ev) -> chrome_record ~t0 ts ev) events in
   let extra = if flows then flow_records ~t0 events else [] in
   Json.to_string ~pretty:true (Json.List (base @ extra))
+
+(* -- multi-track rendering ------------------------------------------------- *)
+
+(** One Chrome track: a deterministic [tid], a human label rendered
+    via a [thread_name] metadata record, and that track's events with
+    absolute timestamps.  The CLI's tid scheme: 0 = main/coordinator,
+    [1 + worker] = pool workers, 90 = watchdog, [100 + ring] = runtime
+    (GC) tracks per OCaml domain. *)
+type track = { tid : int; label : string; events : (float * event) list }
+
+let thread_name_record ~tid label =
+  Json.Obj
+    [
+      ("name", Json.Str "thread_name");
+      ("ph", Json.Str "M");
+      ("pid", Json.int 1);
+      ("tid", Json.int tid);
+      ("args", Json.Obj [ ("name", Json.Str label) ]);
+    ]
+
+(** [chrome_tracks ?flows tracks] — render a complete Chrome trace
+    document with each {!track}'s events on its own stable [tid] and a
+    [thread_name] metadata record per track, so merged multi-domain
+    traces land on consistently-labelled rows across runs.  With
+    [~flows:true], Migrate_hop chains across all tracks are rendered
+    as flow arrows (on tid 1, as in {!chrome_string}). *)
+let chrome_tracks ?(flows = false) tracks =
+  let all = List.concat_map (fun tr -> tr.events) tracks in
+  let t0 = List.fold_left (fun acc (ts, _) -> min acc ts) infinity all in
+  let t0 = if t0 = infinity then 0.0 else t0 in
+  let meta =
+    List.map
+      (fun tr -> thread_name_record ~tid:tr.tid tr.label)
+      (List.sort (fun a b -> compare a.tid b.tid) tracks)
+  in
+  let records =
+    List.concat_map
+      (fun tr ->
+        List.map (fun (ts, ev) -> chrome_record ~tid:tr.tid ~t0 ts ev)
+          tr.events)
+      tracks
+  in
+  let extra =
+    if flows then flow_records ~t0 (merge_events [ all ]) else []
+  in
+  Json.to_string ~pretty:true (Json.List (meta @ records @ extra))

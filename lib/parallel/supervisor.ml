@@ -89,8 +89,11 @@ type stats = {
   mutable max_gap : float;  (** widest observed starvation gap, seconds *)
   generations : int array;  (** per-worker restart generation *)
   busy : float array;  (** per-worker cumulative task seconds *)
-  mutable worker_gaps : (int * int * float) list;
-      (** every recorded starvation: (worker, task, widest gap s) *)
+  mutable worker_gaps : (int * int * float * string) list;
+      (** every recorded starvation: (worker, task, widest gap s,
+          cause).  Cause is "stall" unless the run's [gap_cause]
+          classifier attributed the gap elsewhere (e.g. "gc_pause"
+          when it overlaps a captured GC span) *)
   mutable durations : float list;
       (** wall seconds of every attempt, newest first (backoff
           excluded); the stress driver's latency sample *)
@@ -134,7 +137,9 @@ type slot = (int * Budget.t * float) option Atomic.t
 
 type watch = {
   wmutex : Mutex.t;
-  gaps : (int * int, float) Hashtbl.t;  (** (worker, task) -> widest gap *)
+  gaps : (int * int, float * float) Hashtbl.t;
+      (** (worker, task) -> (widest gap, wall time it was observed),
+          i.e. the gap covered [t_end - gap, t_end] *)
   mutable cancels : int;
 }
 
@@ -163,9 +168,11 @@ let watchdog_tick (config : config) (watch : watch) (inflight : slot array) =
                 Mutex.lock watch.wmutex;
                 let key = (w, task) in
                 let prev =
-                  Option.value (Hashtbl.find_opt watch.gaps key) ~default:0.0
+                  match Hashtbl.find_opt watch.gaps key with
+                  | Some (g', _) -> g'
+                  | None -> 0.0
                 in
-                if gap > prev then Hashtbl.replace watch.gaps key gap;
+                if gap > prev then Hashtbl.replace watch.gaps key (gap, now);
                 Mutex.unlock watch.wmutex
               end
           | None -> ()))
@@ -184,24 +191,34 @@ let split_at k l =
 let is_stray_cause (e : Grip_error.t) =
   match e.Grip_error.cause with Grip_error.Worker _ -> true | _ -> false
 
-(** [supervise ?config ?obs ?degrade pool ~f items] — run [f] over
-    [items] under supervision; returns per-item results (positional,
-    [Error] = quarantined after exhausting retries) and the run's
-    {!stats}.
+(** [supervise_worker ?config ?obs ?degrade ?gap_cause pool ~f items]
+    — run [f] over [items] under supervision; returns per-item
+    results (positional, [Error] = quarantined after exhausting
+    retries) and the run's {!stats}.
 
-    [f] receives the attempt's budget token; implementations that
-    forward it to [Pipeline.run]/[run_robust] get live deadline
-    enforcement, otherwise the watchdog's post-hoc cancel is the only
-    bound.  [degrade ~level item] maps an overflow-admitted item to a
-    cheaper variant and the name of the rung it now starts at;
-    returning [None] admits the item unchanged.
+    [f] receives the executing worker's index (0 = the submitting
+    domain, as in {!Pool.map_ordered_worker}) and the attempt's budget
+    token; implementations that forward the budget to
+    [Pipeline.run]/[run_robust] get live deadline enforcement,
+    otherwise the watchdog's post-hoc cancel is the only bound.
+    [degrade ~level item] maps an overflow-admitted item to a cheaper
+    variant and the name of the rung it now starts at; returning
+    [None] admits the item unchanged.
+
+    [gap_cause ~t0 ~t1] classifies a recorded starvation gap covering
+    the wall-clock window [t0, t1]; it is consulted once per gap after
+    the join (on the calling domain) and defaults to ["stall"].
+    Drivers with a live {!Grip_obs.Runtime} consumer pass a closure
+    that answers ["gc_pause"] when captured GC spans cover most of the
+    window, so chaos reports separate runtime pauses from genuine
+    stalls.
 
     Metrics and trace events are recorded on the calling domain only
     (during coordination and after the join), never from workers, so
     any [obs] handle is safe here even though [Metrics.t] is not
     thread-safe. *)
-let supervise ?(config = default_config) ?(obs = Obs.null) ?degrade
-    (pool : Pool.t) ~f items =
+let supervise_worker ?(config = default_config) ?(obs = Obs.null) ?degrade
+    ?(gap_cause = fun ~t0:_ ~t1:_ -> "stall") (pool : Pool.t) ~f items =
   let jobs = Pool.jobs pool in
   let stats = fresh_stats ~jobs in
   let arr = Array.of_list items in
@@ -260,7 +277,7 @@ let supervise ?(config = default_config) ?(obs = Obs.null) ?degrade
           (match config.fault with
           | Some plan -> Fault.trip plan ~budget ~task:idx ~attempt:att
           | None -> ());
-          f ~budget effective.(idx)
+          f ~worker ~budget effective.(idx)
         with
         | v -> Ok v
         | exception Grip_error.Error e -> Error e
@@ -328,14 +345,16 @@ let supervise ?(config = default_config) ?(obs = Obs.null) ?degrade
     Mutex.lock watch.wmutex;
     stats.watchdog_cancels <- watch.cancels;
     Hashtbl.iter
-      (fun (worker, task) gap ->
+      (fun (worker, task) (gap, t_end) ->
         stats.gap_violations <- stats.gap_violations + 1;
-        stats.worker_gaps <- (worker, task, gap) :: stats.worker_gaps;
+        let cause = gap_cause ~t0:(t_end -. gap) ~t1:t_end in
+        stats.worker_gaps <- (worker, task, gap, cause) :: stats.worker_gaps;
         if gap > stats.max_gap then stats.max_gap <- gap;
         Metrics.observe obs.Obs.metrics "pool.worker_gap_ms"
           (int_of_float (gap *. 1e3))
           ~bounds:[| 0; 1; 2; 4; 8; 16; 32; 64; 128; 256; 512; 1024 |];
-        trace (Trace.Watchdog_gap { worker; task; gap }))
+        Metrics.incr obs.Obs.metrics ("pool.gap_cause." ^ cause);
+        trace (Trace.Watchdog_gap { worker; task; gap; cause }))
       watch.gaps;
     Mutex.unlock watch.wmutex;
     if flagged stats then Metrics.incr obs.Obs.metrics "pool.gap_violations";
@@ -349,6 +368,14 @@ let supervise ?(config = default_config) ?(obs = Obs.null) ?degrade
     in
     (out, stats)
   end
+
+(** [supervise ?config ?obs ?degrade ?gap_cause pool ~f items] — like
+    {!supervise_worker} for task bodies that do not care which worker
+    runs them. *)
+let supervise ?config ?obs ?degrade ?gap_cause pool ~f items =
+  supervise_worker ?config ?obs ?degrade ?gap_cause pool
+    ~f:(fun ~worker:_ ~budget item -> f ~budget item)
+    items
 
 (** [supervise_or_raise ?config ?obs ?degrade pool ~f items] — like
     {!supervise} but with {!Pool.map_ordered}'s failure contract: the

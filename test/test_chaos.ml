@@ -293,7 +293,12 @@ let test_stall_trips_watchdog () =
         (stats.Supervisor.max_gap > 0.03);
       Alcotest.(check bool)
         "per-worker gaps recorded" true
-        (stats.Supervisor.worker_gaps <> []));
+        (stats.Supervisor.worker_gaps <> []);
+      Alcotest.(check bool)
+        "default gap cause is stall" true
+        (List.for_all
+           (fun (_, _, _, cause) -> cause = "stall")
+           stats.Supervisor.worker_gaps));
   let events = Trace.ring_events ring in
   Alcotest.(check bool)
     "ring holds watchdog.gap events" true
@@ -312,6 +317,55 @@ let test_stall_trips_watchdog () =
      in
      find 0);
   Alcotest.(check int) "no events dropped" 0 (Trace.ring_dropped ring)
+
+(* A driver-supplied [gap_cause] classifier reattributes every
+   recorded gap: the stats tuples and the Watchdog_gap trace events
+   both carry its verdict, and the classifier sees a plausible
+   interval (t0 < t1, width = the recorded gap). *)
+let test_gap_cause_classifier () =
+  let ring, tracer = Trace.ring ~capacity:256 () in
+  let obs = Obs.make ~trace:tracer () in
+  let seen = ref [] in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let config =
+        {
+          Supervisor.default_config with
+          Supervisor.fault = Some (Fault.pool_plan ~every:4 (Fault.Stall 0.15));
+          Supervisor.gap_threshold = Some 0.03;
+          Supervisor.watchdog_interval = 0.005;
+        }
+      in
+      let gap_cause ~t0 ~t1 =
+        seen := (t0, t1) :: !seen;
+        "gc_pause"
+      in
+      let _, stats =
+        Supervisor.supervise ~config ~obs ~gap_cause pool
+          ~f:(fun ~budget:_ i -> i)
+          (List.init 8 Fun.id)
+      in
+      Alcotest.(check bool) "flagged" true (Supervisor.flagged stats);
+      Alcotest.(check bool)
+        "every recorded gap classified gc_pause" true
+        (stats.Supervisor.worker_gaps <> []
+        && List.for_all
+             (fun (_, _, _, cause) -> cause = "gc_pause")
+             stats.Supervisor.worker_gaps);
+      Alcotest.(check int)
+        "classifier consulted once per gap"
+        (List.length stats.Supervisor.worker_gaps)
+        (List.length !seen);
+      Alcotest.(check bool)
+        "classifier windows are plausible" true
+        (List.for_all (fun (t0, t1) -> t0 < t1 && t1 -. t0 > 0.03) !seen));
+  Alcotest.(check bool)
+    "trace events carry the cause" true
+    (List.exists
+       (fun (_, ev) ->
+         match ev with
+         | Trace.Watchdog_gap { cause; _ } -> cause = "gc_pause"
+         | _ -> false)
+       (Trace.ring_events ring))
 
 (* -- pool misuse guards ---------------------------------------------------- *)
 
@@ -381,6 +435,8 @@ let () =
         [
           Alcotest.test_case "stall trips watchdog" `Quick
             test_stall_trips_watchdog;
+          Alcotest.test_case "gap cause classifier" `Quick
+            test_gap_cause_classifier;
         ] );
       ( "misuse",
         [

@@ -174,6 +174,8 @@ let sample_registry seed =
   Metrics.incr m (Printf.sprintf "only.%d" seed);
   Metrics.add_time m "t.shared" (0.25 *. float_of_int seed);
   Metrics.add_time m (Printf.sprintf "t.%d" seed) 0.5;
+  Metrics.gauge_set m "g.shared" (float_of_int seed);
+  Metrics.gauge_max m (Printf.sprintf "g.%d" seed) 1.0;
   List.iter
     (fun v -> Metrics.observe m ~bounds:[| 0; 1; 2; 4 |] "h" v)
     [ seed; seed * 2; 7 ];
@@ -194,6 +196,8 @@ let test_metrics_merge_commutative () =
   let ab = merged [ a; b ] in
   Alcotest.(check int) "counters add" 3 (Metrics.counter ab "shared");
   Alcotest.(check (float 1e-12)) "times add" 0.75 (Metrics.time ab "t.shared");
+  Alcotest.(check (float 0.0)) "gauges keep the max" 2.0
+    (Metrics.gauge ab "g.shared");
   match Metrics.histogram ab "h" with
   | None -> Alcotest.fail "merged histogram missing"
   | Some h ->
@@ -213,6 +217,33 @@ let test_metrics_merge_bounds_mismatch () =
   match Metrics.merge ~into:a b with
   | () -> Alcotest.fail "expected Invalid_argument"
   | exception Invalid_argument _ -> ()
+
+(* Gauge semantics: [gauge_set] is last-write-wins within a registry,
+   [gauge_max] a high-water mark, merge keeps the max across
+   registries, the disabled registry records nothing, and the JSON
+   dump carries a gauges object. *)
+let test_metrics_gauges () =
+  let m = Metrics.create () in
+  Alcotest.(check (float 0.0)) "unset gauge reads 0" 0.0 (Metrics.gauge m "g");
+  Metrics.gauge_set m "g" 5.0;
+  Metrics.gauge_set m "g" 3.0;
+  Alcotest.(check (float 0.0)) "set replaces" 3.0 (Metrics.gauge m "g");
+  Metrics.gauge_max m "g" 2.0;
+  Alcotest.(check (float 0.0)) "max keeps higher reading" 3.0
+    (Metrics.gauge m "g");
+  Metrics.gauge_max m "g" 7.0;
+  Alcotest.(check (float 0.0)) "max advances" 7.0 (Metrics.gauge m "g");
+  Metrics.gauge_set Metrics.disabled "g" 9.0;
+  Alcotest.(check (float 0.0)) "disabled registry records nothing" 0.0
+    (Metrics.gauge Metrics.disabled "g");
+  let other = Metrics.create () in
+  Metrics.gauge_set other "g" 4.0;
+  Metrics.merge ~into:other m;
+  Alcotest.(check (float 0.0)) "merge keeps max" 7.0 (Metrics.gauge other "g");
+  match Json.member "gauges" (Metrics.to_json m) with
+  | Some (Json.Obj [ ("g", Json.Num v) ]) ->
+      Alcotest.(check (float 0.0)) "json gauge value" 7.0 v
+  | _ -> Alcotest.fail "gauges object missing from metrics dump"
 
 let test_metrics_merge_disabled () =
   let a = sample_registry 1 in
@@ -620,6 +651,23 @@ let test_bench_diff_cross_schema () =
   let r = diff_ok ~old_ ~new_ in
   Alcotest.(check int) "cells" 2 (List.length r.Bench_diff.cells)
 
+(* A schema /6 artifact's per-cell gc block is extra data the diff
+   never reads: a /6-vs-/5 comparison stays clean even though only
+   one side carries it. *)
+let test_bench_diff_tolerates_gc_block () =
+  let ll1_gc =
+    {|{"name":"LL1","fu2":{"grip":{"speedup":2.5,
+        "gc":{"alloc_bytes":1048576,"minor_collections":3,
+              "major_collections":1,"promoted_bytes":4096}},
+      "post":{"speedup":2}}}|}
+  in
+  let old_ = artifact ~schema:"grip.bench.table1/5" [ ll1 () ] in
+  let new_ = artifact ~schema:"grip.bench.table1/6" [ ll1_gc ] in
+  let r = diff_ok ~old_ ~new_ in
+  Alcotest.(check int) "cells" 2 (List.length r.Bench_diff.cells);
+  Alcotest.(check int) "no regressions" 0
+    (List.length (Bench_diff.regressions r))
+
 let test_bench_diff_asymmetric_cells () =
   let old_ = artifact [ ll1 (); ll5 () ] in
   let new_ =
@@ -725,6 +773,7 @@ let () =
             test_metrics_merge_bounds_mismatch;
           Alcotest.test_case "merge disabled" `Quick
             test_metrics_merge_disabled;
+          Alcotest.test_case "gauges" `Quick test_metrics_gauges;
         ] );
       ("replay", replay_cases);
       ( "provenance",
@@ -755,6 +804,8 @@ let () =
             test_bench_diff_tolerance;
           Alcotest.test_case "cross-schema comparable" `Quick
             test_bench_diff_cross_schema;
+          Alcotest.test_case "gc block tolerated" `Quick
+            test_bench_diff_tolerates_gc_block;
           Alcotest.test_case "asymmetric cells reported" `Quick
             test_bench_diff_asymmetric_cells;
           Alcotest.test_case "malformed artifacts rejected" `Quick
