@@ -764,7 +764,7 @@ let stress_cmd =
    parallel-efficiency block from the collected data.  The rendering
    itself is [Obs.Profile] — pure functions over the merged registry,
    the recovered phase windows and the captured GC spans. *)
-let profile_run kernel fus jobs tasks trace_file =
+let profile_run kernel fus jobs tasks trace_file max_schedule_alloc =
   let jobs = validate_jobs jobs in
   if tasks < 1 then invalid "--tasks must be at least 1 (got %d)" tasks;
   let machine = machine_of_fus fus in
@@ -830,7 +830,7 @@ let profile_run kernel fus jobs tasks trace_file =
       "  (runtime-events clock uncalibrated: GC pauses unavailable)@.";
   if Obs.Runtime.lost rt > 0 then
     Format.printf "  runtime events lost: %d@." (Obs.Runtime.lost rt);
-  match trace_file with
+  (match trace_file with
   | Some path ->
       let worker_tracks =
         let tbl = Hashtbl.create 8 in
@@ -851,7 +851,30 @@ let profile_run kernel fus jobs tasks trace_file =
         @ worker_tracks @ runtime_tracks rt
       in
       write_trace path tracks
+  | None -> ());
+  (* Allocation ceiling: an executable assertion on the flat-IR hot
+     path.  The schedule phase is where per-query allocation would
+     re-appear first, so a pinned byte budget catches regressions the
+     speedup table can't see. *)
+  match max_schedule_alloc with
   | None -> ()
+  | Some ceiling ->
+      let got =
+        List.fold_left
+          (fun acc r ->
+            if r.Obs.Profile.phase = "schedule" then
+              acc + r.Obs.Profile.alloc_bytes
+            else acc)
+          0 rows
+      in
+      if got > ceiling then (
+        Format.printf
+          "schedule-phase allocation %d bytes exceeds ceiling %d@." got
+          ceiling;
+        exit 1)
+      else
+        Format.printf "schedule-phase allocation %d bytes within ceiling %d@."
+          got ceiling
 
 let profile_cmd =
   let tasks_arg =
@@ -860,6 +883,17 @@ let profile_cmd =
        over the pool, making the parallel-efficiency block meaningful)."
     in
     Arg.(value & opt int 1 & info [ "tasks" ] ~docv:"N" ~doc)
+  in
+  let max_schedule_alloc_arg =
+    let doc =
+      "Exit non-zero if the schedule phase allocates more than $(docv) \
+       bytes (summed across tasks).  Pins the allocation-free scheduling \
+       invariant in CI."
+    in
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-schedule-alloc" ] ~docv:"BYTES" ~doc)
   in
   Cmd.v
     (Cmd.info "profile"
@@ -871,7 +905,7 @@ let profile_cmd =
           and a collection-barrier estimate)")
     Term.(
       const profile_run $ kernel_arg $ fus_arg $ jobs_arg $ tasks_arg
-      $ trace_arg)
+      $ trace_arg $ max_schedule_alloc_arg)
 
 (* -- simulate ------------------------------------------------------------ *)
 
@@ -939,14 +973,22 @@ let explain_cmd =
 
 (* -- bench ---------------------------------------------------------------- *)
 
-let bench_diff_run old_file new_file tolerance =
+let bench_diff_run old_file new_file tolerance gc_tolerance =
   let read f = match read_file f with Ok s -> s | Error e -> die e in
   let old_ = read old_file and new_ = read new_file in
   match Obs.Bench_diff.diff ~old_ ~new_ with
   | Error msg -> die (Grip_error.make Grip_error.Io (Grip_error.Message msg))
   | Ok r ->
-      Format.printf "%a" (Obs.Bench_diff.pp_result ~tolerance) r;
-      if Obs.Bench_diff.regressions ~tolerance r <> [] then exit 1
+      Format.printf "%a"
+        (Obs.Bench_diff.pp_result ~tolerance ?gc_tolerance)
+        r;
+      let gc_regressed =
+        match gc_tolerance with
+        | Some g -> Obs.Bench_diff.gc_regressions ~gc_tolerance:g r <> []
+        | None -> false
+      in
+      if Obs.Bench_diff.regressions ~tolerance r <> [] || gc_regressed then
+        exit 1
 
 let bench_cmd =
   let old_arg =
@@ -965,13 +1007,27 @@ let bench_cmd =
     in
     Arg.(value & opt float 1e-9 & info [ "tolerance" ] ~docv:"T" ~doc)
   in
+  let gc_tolerance_arg =
+    let doc =
+      "Also gate per-cell gc.alloc_bytes: fail (exit 1) when any GRiP cell \
+       allocates more than (1+$(docv)) times its baseline (e.g. 0.25 allows \
+       +25%). Off when omitted; cells without a gc block never trip."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gc-tolerance" ] ~docv:"R" ~doc)
+  in
   let diff_cmd =
     Cmd.v
       (Cmd.info "diff"
          ~doc:
            "Compare two Table 1 bench artifacts cell by cell; exits non-zero \
-            when any GRiP speedup regressed beyond --tolerance")
-      Term.(const bench_diff_run $ old_arg $ new_arg $ tolerance_arg)
+            when any GRiP speedup regressed beyond --tolerance or, with \
+            --gc-tolerance, when any GRiP cell's allocation grew beyond it")
+      Term.(
+        const bench_diff_run $ old_arg $ new_arg $ tolerance_arg
+        $ gc_tolerance_arg)
   in
   Cmd.group (Cmd.info "bench" ~doc:"Bench-artifact utilities") [ diff_cmd ]
 

@@ -2,31 +2,43 @@
 
     GRiP and Unifiable-ops scheduling both operate on "the subgraph
     dominated by n"; this module provides the dominance test and the
-    listing of that subgraph. *)
+    listing of that subgraph.
+
+    Node ids are dense, so the tree and the RPO index live in flat
+    {!Itbl}s, and {!recompute} rebuilds a tree in place (resetting the
+    tables, no fresh allocation): the scheduler recomputes dominators
+    once per scheduled node, and the per-call [Hashtbl] churn used to
+    be a measurable slice of its allocation profile.  Predecessors are
+    folded straight off the program's flat table — the full
+    [Program.preds] map is never materialized. *)
 
 open Vliw_ir
 
 type t = {
-  idom : (int, int) Hashtbl.t;  (** immediate dominator; entry maps to itself *)
-  order : (int, int) Hashtbl.t;  (** RPO index, for intersection *)
-  entry : int;
+  idom : int Itbl.t;
+      (** immediate dominator; entry maps to itself; [-1] = unreachable *)
+  order : int Itbl.t;  (** RPO index, for intersection *)
+  mutable entry : int;
 }
 
-(** [compute p] builds the dominator tree of the reachable part of
-    [p]. *)
-let compute (p : Program.t) =
+(** [recompute t p] rebuilds the dominator tree of the reachable part
+    of [p] into [t], reusing its tables.  Any older view of [t] is
+    overwritten — callers must not hold a [t] across program
+    mutations (the version-keyed cache in [Ctx] enforces this for the
+    scheduling pipeline). *)
+let recompute t (p : Program.t) =
   let rpo = Program.rpo p in
-  let order = Hashtbl.create 64 in
-  List.iteri (fun i id -> Hashtbl.replace order id i) rpo;
-  let preds = Program.preds p in
-  let idom = Hashtbl.create 64 in
-  Hashtbl.replace idom p.Program.entry p.Program.entry;
+  Itbl.reset t.idom;
+  Itbl.reset t.order;
+  t.entry <- p.Program.entry;
+  List.iteri (fun i id -> Itbl.set t.order id i) rpo;
+  Itbl.set t.idom t.entry t.entry;
   let intersect a b =
     let rec go a b =
       if a = b then a
       else
-        let oa = Hashtbl.find order a and ob = Hashtbl.find order b in
-        if oa > ob then go (Hashtbl.find idom a) b else go a (Hashtbl.find idom b)
+        let oa = Itbl.get t.order a and ob = Itbl.get t.order b in
+        if oa > ob then go (Itbl.get t.idom a) b else go a (Itbl.get t.idom b)
     in
     go a b
   in
@@ -35,30 +47,45 @@ let compute (p : Program.t) =
     changed := false;
     List.iter
       (fun id ->
-        if id <> p.Program.entry then begin
-          let ps =
-            match Hashtbl.find_opt preds id with Some l -> l | None -> []
+        if id <> t.entry then begin
+          (* fold over the processed live predecessors, newest-first —
+             the order the list-based table always presented *)
+          let new_idom =
+            Program.fold_preds p id ~init:(-1) ~f:(fun acc q ->
+                if Program.is_live p q && Itbl.get t.idom q >= 0 then
+                  if acc < 0 then q else intersect acc q
+                else acc)
           in
-          let processed = List.filter (Hashtbl.mem idom) ps in
-          match processed with
-          | [] -> ()
-          | first :: rest ->
-              let new_idom = List.fold_left intersect first rest in
-              (match Hashtbl.find_opt idom id with
-              | Some old when old = new_idom -> ()
-              | Some _ | None ->
-                  Hashtbl.replace idom id new_idom;
-                  changed := true)
+          if new_idom >= 0 && Itbl.get t.idom id <> new_idom then begin
+            Itbl.set t.idom id new_idom;
+            changed := true
+          end
         end)
       rpo
-  done;
-  { idom; order; entry = p.Program.entry }
+  done
+
+(** [compute p] builds the dominator tree of the reachable part of
+    [p]. *)
+let compute (p : Program.t) =
+  let t =
+    {
+      idom = Itbl.create (-1);
+      order = Itbl.create max_int;
+      entry = p.Program.entry;
+    }
+  in
+  recompute t p;
+  t
 
 (** [dominates t a b] holds when every path from the entry to [b]
     passes through [a] (reflexive: [dominates t a a]). *)
 let dominates t a b =
-  let rec up b = if b = a then true else if b = t.entry then false else up (Hashtbl.find t.idom b) in
-  if not (Hashtbl.mem t.idom b) then false else up b
+  let rec up b =
+    if b = a then true
+    else if b = t.entry then false
+    else up (Itbl.get t.idom b)
+  in
+  if Itbl.get t.idom b < 0 then false else up b
 
 (** [dominated t p n] lists the node ids dominated by [n] (including
     [n] itself), restricted to reachable nodes. *)

@@ -28,33 +28,33 @@ module Alias = Vliw_analysis.Alias
 module Machine = Vliw_machine.Machine
 module Ctx = Vliw_percolation.Ctx
 
-let same_iter (a : Operation.t) iter = a.Operation.iter = iter
-
 (* Would [x] (currently in [s]) be moveable into [from_] if [op] were
    gone?  Localized approximation: unguarded, no true/memory dependence
-   on the remaining operations, and room once [op]'s slot is free. *)
-let movable_ignoring (ctx : Ctx.t) ~from_node ~(x : Operation.t)
+   on the remaining operations, and room once [op]'s slot is free.
+   The "remaining" ops are [from_node.ops] minus [ignoring] — tested by
+   id in place rather than materializing the filtered list. *)
+let movable_ignoring (ctx : Ctx.t) ~(from_node : Node.t) ~(x : Operation.t)
     ~(ignoring : Operation.t) =
-  let remaining =
-    List.filter
-      (fun (o : Operation.t) -> o.Operation.id <> ignoring.Operation.id)
+  let remaining_exists f =
+    List.exists
+      (fun (o : Operation.t) ->
+        o.Operation.id <> ignoring.Operation.id && f o)
       from_node.Node.ops
   in
   x.Operation.guard = []
   && (not
-        (List.exists
-           (fun (o : Operation.t) ->
+        (remaining_exists (fun (o : Operation.t) ->
              match Operation.def o with
              | Some d ->
                  Operation.reads_reg x d && not (Operation.is_copy o)
-             | None -> false)
-           remaining))
-  && (not (List.exists (fun o -> Alias.mem_conflict o x) remaining))
+             | None -> false)))
+  && (not (remaining_exists (fun o -> Alias.mem_conflict o x)))
   &&
   (* op leaves a slot free that x can take *)
   let m = ctx.Ctx.machine in
   Machine.is_unlimited m
-  || Machine.slot_demand m (Program.node ctx.Ctx.program from_node.Node.id)
+  || Machine.slot_demand_packed m
+       (Program.counts_packed ctx.Ctx.program from_node.Node.id)
      <= Machine.width m
 
 (** [ok ctx ~from_ ~to_ ~op] — see module comment.  Operations outside
@@ -67,29 +67,44 @@ let ok (ctx : Ctx.t) ~from_ ~to_ ~(op : Operation.t) =
   else
     let rec go ~from_ ~(op : Operation.t) depth =
       let from_node = Program.node p from_ in
-      let all = Node.all_ops from_node in
-      (* 1: from_ will disappear *)
+      (* one same-iteration predicate per [go] level: conditions 2-4
+         test it on every operation of every visited node, and a
+         closure minted per node is measurable allocation *)
+      let it = op.Operation.iter in
+      let same (o : Operation.t) = o.Operation.iter = it in
+      (* 1: from_ will disappear (per-node packed counters, no list
+         length / tree walk) *)
       let cond1 =
+        let c = Program.counts_packed p from_ in
         if Operation.is_cjump op then
-          from_node.Node.ops = [] && Ctree.n_cjumps from_node.Node.ctree = 1
-        else
-          List.length from_node.Node.ops = 1
-          && Ctree.n_cjumps from_node.Node.ctree = 0
+          Node.packed_plain c = 0 && Node.packed_cjumps c = 1
+        else Node.packed_plain c = 1 && Node.packed_cjumps c = 0
       in
-      (* 2: another op of the same iteration stays at from_ *)
+      (* 2: another op of the same iteration stays at from_ (plain ops
+         then tree jumps — the [Node.all_ops] order without the list) *)
       let cond2 =
-        List.length (List.filter (fun o -> same_iter o op.Operation.iter) all)
-        >= 2
+        let k =
+          Ctree.fold_cjumps
+            (fun k o -> if same o then k + 1 else k)
+            (List.fold_left
+               (fun k o -> if same o then k + 1 else k)
+               0 from_node.Node.ops)
+            from_node.Node.ctree
+        in
+        k >= 2
       in
-      (* 3: op is the last operation of its iteration *)
+      (* 3: op is the last operation of its iteration.  Visited set:
+         the context's epoch-stamped scan table (distinct from the
+         migration walk's, which is in flight around this test). *)
       let cond3 () =
-        let visited = Hashtbl.create 32 in
+        Ctx.scan_begin ctx;
         let rec below id =
-          if Hashtbl.mem visited id || Program.is_exit p id then false
+          if Ctx.scan_seen ctx id || Program.is_exit p id then false
           else begin
-            Hashtbl.replace visited id ();
+            Ctx.scan_mark ctx id;
             let n = Program.node p id in
-            List.exists (fun o -> same_iter o op.Operation.iter) (Node.all_ops n)
+            List.exists same n.Node.ops
+            || Ctree.exists_cjump same n.Node.ctree
             || List.exists below (Program.succs p id)
           end
         in
@@ -104,22 +119,23 @@ let ok (ctx : Ctx.t) ~from_ ~to_ ~(op : Operation.t) =
                (not (Program.is_exit p s))
                &&
                let sn = Program.node p s in
-               let is_movable_shape (x : Operation.t) =
-                 if Operation.is_cjump x then
-                   (* only the root conditional of s can move *)
-                   match Ctree.root_cjump sn.Node.ctree with
-                   | Some root -> Operation.equal_id root x
-                   | None -> false
-                 else true
+               let candidate shape_ok (x : Operation.t) =
+                 same x
+                 && (not (Operation.equal_id x op))
+                 && shape_ok x
+                 && movable_ignoring ctx ~from_node ~x ~ignoring:op
+                 && go ~from_:s ~op:x (depth + 1)
+               in
+               let cj_shape (x : Operation.t) =
+                 (* only the root conditional of s can move *)
+                 match Ctree.root_cjump sn.Node.ctree with
+                 | Some root -> Operation.equal_id root x
+                 | None -> false
                in
                List.exists
-                 (fun (x : Operation.t) ->
-                   same_iter x op.Operation.iter
-                   && (not (Operation.equal_id x op))
-                   && is_movable_shape x
-                   && movable_ignoring ctx ~from_node ~x ~ignoring:op
-                   && go ~from_:s ~op:x (depth + 1))
-                 (Node.all_ops sn))
+                 (candidate (fun (_ : Operation.t) -> true))
+                 sn.Node.ops
+               || Ctree.exists_cjump (candidate cj_shape) sn.Node.ctree)
              (Program.succs p from_)
       in
       cond1 || cond2 || cond3 () || cond4 ()

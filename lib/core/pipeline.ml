@@ -98,10 +98,11 @@ let observe_occupancy (obs : Obs.t) machine p rows =
       (fun (r : Schedule_table.row) ->
         match Program.node_opt p r.Schedule_table.node with
         | None -> ()
-        | Some n ->
+        | Some _ ->
             Metrics.observe obs.Obs.metrics ~bounds:occupancy_bounds
               "schedule.slot_occupancy"
-              (Machine.slot_demand machine n))
+              (Machine.slot_demand_packed machine
+                 (Program.counts_packed p r.Schedule_table.node)))
       rows
 
 (** [run ?obs ?rank ?horizon ?redundancy ?speculation k ~machine

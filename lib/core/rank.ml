@@ -36,10 +36,16 @@ let tie_break (a : Operation.t) (b : Operation.t) =
 let section_3_4 ~(ddg : Vliw_analysis.Ddg.t) =
   let heights = Vliw_analysis.Ddg.flow_height ddg in
   let deps = Vliw_analysis.Ddg.dependents ddg in
-  let info (op : Operation.t) =
+  (* separate accessors, not a pair-returning [info]: the comparator
+     runs inside the scheduler's choose-op min-scan, where a tuple per
+     call is measurable allocation *)
+  let height_of (op : Operation.t) =
     let pos = op.Operation.lineage in
-    if pos >= 0 && pos < Array.length heights then (heights.(pos), deps.(pos))
-    else (0, 0)
+    if pos >= 0 && pos < Array.length heights then heights.(pos) else 0
+  in
+  let deps_of (op : Operation.t) =
+    let pos = op.Operation.lineage in
+    if pos >= 0 && pos < Array.length deps then deps.(pos) else 0
   in
   {
     name = "section-3.4";
@@ -47,10 +53,11 @@ let section_3_4 ~(ddg : Vliw_analysis.Ddg.t) =
       (fun a b ->
         match by_iteration a b with
         | 0 ->
-            let ha, da = info a and hb, db = info b in
+            let ha = height_of a and hb = height_of b in
             if ha <> hb then Int.compare hb ha
-            else if da <> db then Int.compare db da
-            else tie_break a b
+            else
+              let da = deps_of a and db = deps_of b in
+              if da <> db then Int.compare db da else tie_break a b
         | c -> c);
   }
 

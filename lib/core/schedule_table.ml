@@ -86,7 +86,7 @@ let pressures ~machine (p : Program.t) =
     List.map
       (fun r ->
         match Program.node_opt p r.node with
-        | Some n -> Machine.slot_demand machine n
+        | Some _ -> Machine.slot_demand_packed machine (Program.counts_packed p r.node)
         | None -> 0)
       (rows p)
   in

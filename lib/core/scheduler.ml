@@ -110,14 +110,15 @@ let speculation_allows (config : config) (ctx : Ctx.t) ~from_ ~to_
   | Resource_aware threshold -> (
       let p = ctx.Ctx.program in
       let to_node = Program.node p to_ in
-      match Node.path_to to_node from_ with
+      match Ctree.path_to to_node.Node.ctree from_ with
       | Some [] | None -> true (* lands unguarded: not speculative *)
       | Some (_ :: _) ->
           Operation.is_cjump op
           ||
           let m = ctx.Ctx.machine in
           Machine.is_unlimited m
-          || float_of_int (Machine.slot_demand m to_node)
+          || float_of_int
+               (Machine.slot_demand_packed m (Program.counts_packed p to_))
              < threshold *. float_of_int (Machine.width m))
 
 (* Dominators cached by program version on the context (scheduling leaf
@@ -139,8 +140,65 @@ let moveable_ops (p : Program.t) dom n =
       else Node.all_ops (Program.node p id))
     region
 
-(** [schedule_node ?on_move config ctx stats n] fills node [n].  *)
-let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
+(* Flat worklist variant of {!moveable_ops}: the op ids in the same
+   order (per region node: plain ops in instruction order, then tree
+   jumps pre-order), drawn from the program's flat sequences — no
+   per-node list append, no record traversal.  The scheduler re-fetches
+   metadata by id, so ids are all it needs. *)
+let moveable_op_ids (p : Program.t) dom n acc =
+  Vliw_ir.Iarr.clear acc;
+  let push oid = Vliw_ir.Iarr.push acc oid in
+  (* inline [Dom.dominated]'s filter: no materialized region list *)
+  List.iter
+    (fun id ->
+      if
+        (not (id = n || Program.is_exit p id))
+        && Vliw_analysis.Dom.dominates dom n id
+      then Program.iter_op_ids p id push)
+    (Program.rpo p);
+  acc
+
+(* Per-run scratch, reused across [schedule_node] calls: op-id
+   membership masks (one byte per id — a [bool Itbl.t] costs a word per
+   id and was re-allocated per node) and the rule-3 RPO index table,
+   reset in place instead of re-created.  Growth doubles, so a run
+   settles on one buffer of each kind. *)
+type scratch = {
+  mutable susp_mask : Bytes.t;
+  mutable att_mask : Bytes.t;
+  rpo_tbl : int Vliw_ir.Itbl.t;
+  mutable rpo_version : int;  (** program version [rpo_tbl] speaks for *)
+  moveable : Vliw_ir.Iarr.t;  (** worklist buffer for {!moveable_op_ids} *)
+}
+
+let fresh_scratch () =
+  {
+    susp_mask = Bytes.make 256 '\000';
+    att_mask = Bytes.make 256 '\000';
+    rpo_tbl = Vliw_ir.Itbl.create ~capacity:256 max_int;
+    rpo_version = -1;
+    moveable = Vliw_ir.Iarr.create ~capacity:256 ();
+  }
+
+let mask_get b id = id < Bytes.length b && Bytes.unsafe_get b id <> '\000'
+
+(* Returns the (possibly re-allocated) buffer with bit [id] set. *)
+let mask_set b id =
+  let b =
+    if id < Bytes.length b then b
+    else begin
+      let n = Bytes.make (max (id + 1) (2 * Bytes.length b)) '\000' in
+      Bytes.blit b 0 n 0 (Bytes.length b);
+      n
+    end
+  in
+  Bytes.unsafe_set b id '\001';
+  b
+
+(** [schedule_node ?on_move config ctx scratch stats n] fills node
+    [n]. *)
+let schedule_node ?on_move (config : config) (ctx : Ctx.t) (scratch : scratch)
+    stats n =
   let p = ctx.Ctx.program in
   let obs = ctx.Ctx.obs in
   let tr = obs.Grip_obs.trace and mx = obs.Grip_obs.metrics in
@@ -151,19 +209,20 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
      which Migrate calls synchronously right after the veto *)
   let suspend_reason = ref "gap prevention" in
   let dom = dominators ctx in
-  let initial = moveable_ops p dom n in
+  let initial = moveable_op_ids p dom n scratch.moveable in
   (* Ranked queue of op ids; metadata re-fetched from the program.
      Op ids are dense, so membership is a byte mask (consulted for
      every candidate on every pass — the hot path of the min-scan)
      plus, for the suspended set, an explicit id list for the two
-     fold/clear sites. *)
-  let suspended = Vliw_ir.Itbl.create ~capacity:256 false in
-  let attempted = Vliw_ir.Itbl.create ~capacity:256 false in
+     fold/clear sites.  The masks live on the per-run scratch and are
+     wiped (not re-allocated) at node entry. *)
+  Bytes.fill scratch.susp_mask 0 (Bytes.length scratch.susp_mask) '\000';
+  Bytes.fill scratch.att_mask 0 (Bytes.length scratch.att_mask) '\000';
   let suspended_ids = ref [] in
   let suspended_count = ref 0 in
   let suspend op_id =
-    if not (Vliw_ir.Itbl.get suspended op_id) then begin
-      Vliw_ir.Itbl.set suspended op_id true;
+    if not (mask_get scratch.susp_mask op_id) then begin
+      scratch.susp_mask <- mask_set scratch.susp_mask op_id;
       suspended_ids := op_id :: !suspended_ids;
       incr suspended_count
     end
@@ -171,37 +230,67 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
   let unsuspend_all () =
     List.iter
       (fun op_id ->
-        Vliw_ir.Itbl.set suspended op_id false;
-        Vliw_ir.Itbl.set attempted op_id false)
+        Bytes.unsafe_set scratch.susp_mask op_id '\000';
+        if op_id < Bytes.length scratch.att_mask then
+          Bytes.unsafe_set scratch.att_mask op_id '\000')
       !suspended_ids;
     suspended_ids := [];
     suspended_count := 0
   in
-  let fetch op_id =
-    match Program.home p op_id with
-    | None -> None
-    | Some home -> (
-        match Node.find_any (Program.node p home) op_id with
-        | Some op -> Some (home, op)
-        | None -> None)
-  in
-  (* Rule-3 reverse-postorder index, cached by program version: while
-     suspensions exist, only a successful hop (which bumps the version)
-     changes node order, so consecutive iterations over failed attempts
-     reuse the table instead of rebuilding it from a full RPO walk. *)
-  let rpo_cache : (int * int Vliw_ir.Itbl.t) option ref = ref None in
+  (* Rule-3 reverse-postorder index, cached by program version on the
+     per-run scratch: while suspensions exist, only a successful hop
+     (which bumps the version) changes node order, so iterations over
+     failed attempts — and whole quiescent nodes — reuse the table
+     instead of rebuilding it from a full RPO walk. *)
   let rpo_index () =
     let v = Program.version p in
-    match !rpo_cache with
-    | Some (v', tbl) when v' = v ->
-        Metrics.incr mx "scheduler.rpo_rebuilds_saved";
-        tbl
-    | _ ->
-        let tbl = Vliw_ir.Itbl.create ~capacity:256 max_int in
-        List.iteri (fun i id -> Vliw_ir.Itbl.set tbl id i) (Program.rpo p);
-        rpo_cache := Some (v, tbl);
-        Metrics.incr mx "scheduler.rpo_rebuilds";
-        tbl
+    if scratch.rpo_version = v then begin
+      Metrics.incr mx "scheduler.rpo_rebuilds_saved";
+      scratch.rpo_tbl
+    end
+    else begin
+      Vliw_ir.Itbl.reset scratch.rpo_tbl;
+      List.iteri
+        (fun i id -> Vliw_ir.Itbl.set scratch.rpo_tbl id i)
+        (Program.rpo p);
+      scratch.rpo_version <- v;
+      Metrics.incr mx "scheduler.rpo_rebuilds";
+      scratch.rpo_tbl
+    end
+  in
+  (* The migration hooks are loop-invariant (they close over the
+     per-node state above, not over the candidate), so one record and
+     three closures serve every attempt instead of being rebuilt per
+     loop iteration. *)
+  let hooks =
+    {
+      Migrate.allow_hop =
+        (fun ~from_ ~to_ ~op ->
+          if not (speculation_allows config ctx ~from_ ~to_ ~op) then begin
+            suspend_reason := "speculation policy veto";
+            false
+          end
+          else if config.gap_prevention && not (Gapless.ok ctx ~from_ ~to_ ~op)
+          then begin
+            suspend_reason :=
+              (if proving then Gapless.explain ~from_ ~op
+               else "gap prevention");
+            false
+          end
+          else true);
+      Migrate.on_suspend =
+        (fun op ->
+          stats.suspensions <- stats.suspensions + 1;
+          Metrics.incr mx "scheduler.suspensions";
+          let node = Program.home_int p op.Operation.id in
+          if tracing then
+            Trace.emit tr (Trace.Migrate_suspend { op = op.Operation.id; node });
+          if proving then
+            Provenance.record_reject pv ~op:op.Operation.id ~node
+              (Provenance.Suspended !suspend_reason);
+          suspend op.Operation.id);
+      Migrate.early_stop = (fun ~moved -> moved > 0 && !suspended_count > 0);
+    }
   in
   let continue_ = ref true in
   while !continue_ do
@@ -210,101 +299,66 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
        structured error instead of wedging the domain *)
     Grip_robust.Budget.check config.budget;
     (* rule 3 bookkeeping is only needed while suspensions exist *)
-    let node_order =
-      if !suspended_count = 0 then fun _ -> 0
-      else
-        let idx = rpo_index () in
-        fun id -> Vliw_ir.Itbl.get idx id
+    let node_order_tbl =
+      if !suspended_count = 0 then None else Some (rpo_index ())
+    in
+    let node_order id =
+      match node_order_tbl with None -> 0 | Some t -> Vliw_ir.Itbl.get t id
     in
     let lowest_suspended =
       List.fold_left
         (fun acc op_id ->
-          match fetch op_id with
-          | Some (home, _) -> max acc (node_order home)
-          | None -> acc)
+          let home = Program.home_int p op_id in
+          if home >= 0 then max acc (node_order home) else acc)
         (-1) !suspended_ids
     in
     (* Best candidate: alive, not yet in n, not suspended, not already
        attempted since the last progress, rule 3 respected.  A single
        min-scan replacing the earlier build-then-[Rank.sort]: keeping
        the incumbent on ties reproduces the head of a stable sort for
-       any comparator, so custom ranks behave identically. *)
+       any comparator, so custom ranks behave identically.  The
+       worklist is an int array; placement comes from the O(1) flat
+       stores and the record is only fetched to feed the rank
+       comparator — the scan allocates nothing per candidate. *)
     let cmp = config.rank.Rank.compare in
-    let best =
-      List.fold_left
-        (fun best (op : Operation.t) ->
-          if Vliw_ir.Itbl.get attempted op.Operation.id then best
-          else if Vliw_ir.Itbl.get suspended op.Operation.id then best
-          else
-            match fetch op.Operation.id with
-            | Some (home, op') when home <> n ->
-                if lowest_suspended >= 0 && node_order home <= lowest_suspended
-                then best
-                else (
-                  match best with
-                  | None -> Some op'
-                  | Some b -> if cmp op' b < 0 then Some op' else best)
-            | Some _ | None -> best)
-        None initial
-    in
-    match best with
+    let best = ref None in
+    for i = 0 to Vliw_ir.Iarr.length initial - 1 do
+      let oid = Vliw_ir.Iarr.unsafe_get initial i in
+      if
+        (not (mask_get scratch.att_mask oid))
+        && not (mask_get scratch.susp_mask oid)
+      then begin
+        let home = Program.home_int p oid in
+        if
+          home >= 0 && home <> n
+          && not (lowest_suspended >= 0 && node_order home <= lowest_suspended)
+        then
+          match Program.stored_op p oid with
+          | None -> ()
+          | Some op' -> (
+              match !best with
+              | None -> best := Some op'
+              | Some b -> if cmp op' b < 0 then best := Some op')
+      end
+    done;
+    match !best with
     | None -> continue_ := false
     | Some best ->
         if stats.migrations >= config.max_migrations then begin
           stats.fuel_exhausted <- true;
           if proving then
             Provenance.record_reject pv ~op:best.Operation.id
-              ~node:
-                (Option.value ~default:(-1)
-                   (Program.home p best.Operation.id))
+              ~node:(Program.home_int p best.Operation.id)
               Provenance.Fuel;
           continue_ := false
         end
         else begin
-          Vliw_ir.Itbl.set attempted best.Operation.id true;
+          scratch.att_mask <- mask_set scratch.att_mask best.Operation.id;
           stats.migrations <- stats.migrations + 1;
           Metrics.incr mx "scheduler.migrations";
           if tracing then
             Trace.emit tr
               (Trace.Migrate_attempt { op = best.Operation.id; target = n });
-          let hooks =
-            {
-              Migrate.allow_hop =
-                (fun ~from_ ~to_ ~op ->
-                  if not (speculation_allows config ctx ~from_ ~to_ ~op)
-                  then begin
-                    suspend_reason := "speculation policy veto";
-                    false
-                  end
-                  else if
-                    config.gap_prevention
-                    && not (Gapless.ok ctx ~from_ ~to_ ~op)
-                  then begin
-                    suspend_reason :=
-                      (if proving then Gapless.explain ~from_ ~op
-                       else "gap prevention");
-                    false
-                  end
-                  else true);
-              Migrate.on_suspend =
-                (fun op ->
-                  stats.suspensions <- stats.suspensions + 1;
-                  Metrics.incr mx "scheduler.suspensions";
-                  let node =
-                    Option.value ~default:(-1)
-                      (Program.home p op.Operation.id)
-                  in
-                  if tracing then
-                    Trace.emit tr
-                      (Trace.Migrate_suspend { op = op.Operation.id; node });
-                  if proving then
-                    Provenance.record_reject pv ~op:op.Operation.id ~node
-                      (Provenance.Suspended !suspend_reason);
-                  suspend op.Operation.id);
-              Migrate.early_stop =
-                (fun ~moved -> moved > 0 && !suspended_count > 0);
-            }
-          in
           let r =
             Migrate.migrate ctx ~hooks ~target:n ~op_id:best.Operation.id ()
           in
@@ -315,9 +369,7 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
             stats.reached <- stats.reached + 1;
             Metrics.incr mx "scheduler.reached"
           end;
-          let stop_node () =
-            Option.value ~default:(-1) (Program.home p r.Migrate.final_id)
-          in
+          let stop_node () = Program.home_int p r.Migrate.final_id in
           let reject reason =
             Provenance.record_reject pv ~op:r.Migrate.final_id
               ~node:(stop_node ()) reason
@@ -368,6 +420,7 @@ let schedule_node ?on_move (config : config) (ctx : Ctx.t) stats n =
 let run ?on_move (config : config) (ctx : Ctx.t) =
   let p = ctx.Ctx.program in
   let stats = fresh_stats () in
+  let scratch = fresh_scratch () in
   let scheduled : (int, unit) Hashtbl.t = Hashtbl.create 64 in
   (* Worklist cursor over the reverse-postorder listing: consecutive
      calls resume from the remainder instead of rescanning (and
@@ -396,7 +449,7 @@ let run ?on_move (config : config) (ctx : Ctx.t) =
     | None -> ()
     | Some n ->
         Hashtbl.replace scheduled n ();
-        schedule_node ?on_move config ctx stats n;
+        schedule_node ?on_move config ctx scratch stats n;
         stats.nodes_scheduled <- stats.nodes_scheduled + 1;
         loop ()
   in

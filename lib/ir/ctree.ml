@@ -19,6 +19,27 @@ let rec cjumps = function
   | Leaf _ -> []
   | Branch (cj, a, b) -> (cj :: cjumps a) @ cjumps b
 
+(** [iter_cjumps f t] applies [f] to each conditional jump of [t] in
+    pre-order (the {!cjumps} order) without materializing the list. *)
+let rec iter_cjumps f = function
+  | Leaf _ -> ()
+  | Branch (cj, a, b) ->
+      f cj;
+      iter_cjumps f a;
+      iter_cjumps f b
+
+(** [exists_cjump f t] — does some conditional jump of [t] satisfy
+    [f]?  Pre-order short-circuit, allocation-free. *)
+let rec exists_cjump f = function
+  | Leaf _ -> false
+  | Branch (cj, a, b) -> f cj || exists_cjump f a || exists_cjump f b
+
+(** [fold_cjumps f acc t] folds [f] over the conditional jumps of [t]
+    in pre-order. *)
+let rec fold_cjumps f acc = function
+  | Leaf _ -> acc
+  | Branch (cj, a, b) -> fold_cjumps f (fold_cjumps f (f acc cj) a) b
+
 (** [succs t] is the list of distinct successor node ids of [t]. *)
 let succs t =
   let rec leaves = function

@@ -194,6 +194,28 @@ let op_count n = List.length n.ops + Ctree.n_cjumps n.ctree
     from it without scanning the op lists. *)
 let counts n = (index n).counts
 
+(* Packed counts: the four category counters of {!counts} packed into
+   one immediate int (15 bits per field), so {!Program} can maintain a
+   per-node slot-demand table that machines query without touching the
+   index or allocating a record.  15 bits bounds a node at 32767 ops
+   per category — far beyond any unwound Livermore body. *)
+
+let pack_counts (c : counts) =
+  c.plain lor (c.copies lsl 15) lor (c.mems lsl 30) lor (c.cjumps lsl 45)
+
+let packed_plain x = x land 0x7fff
+let packed_copies x = (x lsr 15) land 0x7fff
+let packed_mems x = (x lsr 30) land 0x7fff
+let packed_cjumps x = (x lsr 45) land 0x7fff
+
+let unpack_counts x =
+  {
+    plain = packed_plain x;
+    copies = packed_copies x;
+    mems = packed_mems x;
+    cjumps = packed_cjumps x;
+  }
+
 (** [find_op n id] finds the operation with id [id] among [n]'s plain
     ops (not the conditional jumps). *)
 let find_op n id = Hashtbl.find_opt (index n).by_id id

@@ -148,7 +148,26 @@ let mem_access op =
   | Binop _ | Unop _ | Copy _ | Cjump _ -> None
 
 (** [reads_reg op r] holds when [op] reads register [r]. *)
-let reads_reg op r = List.exists (Reg.equal r) (uses op)
+let reads_reg op r =
+  (* shape-direct (no operand/register list) — this runs per remaining
+     op per candidate inside the gap-prevention test *)
+  match op.kind with
+  | Binop (_, _, a, b) | Cjump (_, a, b) ->
+      Operand.uses_reg a r || Operand.uses_reg b r
+  | Unop (_, _, a) | Copy (_, a) -> Operand.uses_reg a r
+  | Load (_, { base; _ }) -> Operand.uses_reg base r
+  | Store ({ base; _ }, v) -> Operand.uses_reg base r || Operand.uses_reg v r
+
+(** [exists_src_reg f op] holds when [op] reads a register satisfying
+    [f] — shape-direct, no operand or register list. *)
+let exists_src_reg f op =
+  match op.kind with
+  | Binop (_, _, a, b) | Cjump (_, a, b) ->
+      Operand.exists_reg f a || Operand.exists_reg f b
+  | Unop (_, _, a) | Copy (_, a) -> Operand.exists_reg f a
+  | Load (_, { base; _ }) -> Operand.exists_reg f base
+  | Store ({ base; _ }, v) ->
+      Operand.exists_reg f base || Operand.exists_reg f v
 
 (** [defines_reg op r] holds when [op] writes register [r]. *)
 let defines_reg op r =

@@ -5,19 +5,44 @@
     empty node whose only successor is itself; execution stops there).
 
     All structural mutation must go through this module: the functions
-    below keep four pieces of derived state coherent:
+    below keep the derived state coherent:
     - [op_home]: operation id -> node id, for O(1) location queries
       during migration;
     - [version]: a counter bumped on every mutation, used by analysis
       caches ({!Vliw_analysis.Liveness}) to invalidate themselves;
-    - [preds_tbl]: an incrementally maintained reverse-adjacency table
-      (it may list unreachable predecessors between mutations and
-      garbage collection; liveness-filtered accessors are provided);
+    - the {e flat stores} (struct-of-arrays mirrors of the node
+      records, below);
     - fresh-id supplies for nodes, operations and registers.
 
     Node and operation ids are dense (drawn from the counters here),
     so every id-keyed store is an {!Itbl} flat array rather than a
     hash table — these lookups dominate the scheduler's profile.
+
+    {2 Flat stores}
+
+    The node records ([Node.ops] lists, [Ctree.t]) remain the source
+    of truth and the public API, but every mutator also maintains an
+    int-indexed struct-of-arrays mirror sized for allocation-free hot
+    paths:
+    - [op_store]/[op_flags]: operation id -> canonical record / packed
+      shape bits (cjump, copy, mem) — O(1) op lookup without touching
+      a node's lazily built hash index;
+    - [ops_seq]/[cjs_seq]: node id -> {!Iarr.t} of plain op ids in
+      instruction order / conditional-jump ids in tree pre-order —
+      worklists and table renderers iterate these instead of
+      [Node.all_ops] (which conses a fresh list per call);
+    - [node_counts]: node id -> {!Node.pack_counts}-packed slot-demand
+      counters, so [Machine.room_for] never forces a node index;
+    - [preds_tbl]: node id -> {!Iarr.t} of predecessor ids in append
+      order with [-1] tombstones (edge removal tombstones in place —
+      no [List.filter] copy per edge — and compacts when tombstones
+      outnumber survivors).  Reading backwards reproduces the
+      historical newest-first cons order.
+
+    Freed nodes return their [Iarr] buffers to an arena pool ([spare])
+    that [fresh_node] draws from, so migration churn (clone, redirect,
+    collect) recycles buffers instead of minting garbage.  Node and
+    operation ids are never reused.
 
     Reachability and reverse postorder are memoized per [version].
     {!gc} only removes nodes unreachable from the entry — a semantic
@@ -30,7 +55,23 @@ type t = {
   entry : int;
   exit_id : int;
   op_home : int Itbl.t;  (** op id -> node id; [-1] = not placed *)
-  preds_tbl : int list Itbl.t;
+  op_store : Operation.t option Itbl.t;
+      (** op id -> canonical record (kept after removal; guard reads
+          with [op_home]) *)
+  op_flags : int Itbl.t;  (** op id -> packed shape bits; [-1] = unknown *)
+  ops_seq : Iarr.t Itbl.t;  (** node id -> plain op ids, [ops] order *)
+  cjs_seq : Iarr.t Itbl.t;  (** node id -> cjump ids, tree pre-order *)
+  node_counts : int Itbl.t;  (** node id -> packed {!Node.counts} *)
+  preds_tbl : Iarr.t Itbl.t;
+      (** node id -> predecessor ids, append order, [-1] tombstones *)
+  succs_tbl : int list Itbl.t;
+      (** node id -> distinct sorted successor ids — the
+          [Ctree.succs] mirror, recomputed on every structural edit so
+          graph walks never touch the node index.  Stored as the list
+          itself: queries share it (immutable, zero alloc), and since
+          an edit replaces rather than mutates it, a walker's captured
+          copy stays a valid pre-edit snapshot. *)
+  mutable spare : Iarr.t list;  (** arena pool of recycled buffers *)
   mutable next_node : int;
   mutable next_reg : int;
   mutable next_op : int;
@@ -44,77 +85,111 @@ let touch p = p.version <- p.version + 1
 let version p = p.version
 let is_exit p id = id = p.exit_id
 
+(* -- flat-store primitives ---------------------------------------------- *)
+
+let flag_cjump_bit = 1
+let flag_copy_bit = 2
+let flag_mem_bit = 4
+
+let op_flags_of (op : Operation.t) =
+  (if Operation.is_cjump op then flag_cjump_bit else 0)
+  lor (if Operation.is_copy op then flag_copy_bit else 0)
+  lor if Operation.mem_access op <> None then flag_mem_bit else 0
+
+(* The packed-counts contribution of one operation, from its shape
+   bits (field layout is {!Node.pack_counts}'s). *)
+let count_delta_of_flags f =
+  if f land flag_cjump_bit <> 0 then 1 lsl 45
+  else
+    1
+    + (if f land flag_copy_bit <> 0 then 1 lsl 15 else 0)
+    + if f land flag_mem_bit <> 0 then 1 lsl 30 else 0
+
+let store_op p (op : Operation.t) =
+  Itbl.set p.op_store op.Operation.id (Some op);
+  Itbl.set p.op_flags op.Operation.id (op_flags_of op)
+
+(* Buffer arena: [seq_for] installs a (possibly recycled) buffer in
+   place of the shared sentinel; [recycle_seq] sends a freed node's
+   buffer back to the pool. *)
+let alloc_seq p =
+  match p.spare with
+  | b :: rest ->
+      p.spare <- rest;
+      Iarr.clear b;
+      b
+  | [] -> Iarr.create ()
+
+let seq_for p tbl id =
+  let b = Itbl.get tbl id in
+  if b != Iarr.sentinel then b
+  else begin
+    let b = alloc_seq p in
+    Itbl.set tbl id b;
+    b
+  end
+
+let recycle_seq p tbl id =
+  let b = Itbl.get tbl id in
+  if b != Iarr.sentinel then begin
+    Itbl.set tbl id Iarr.sentinel;
+    Iarr.clear b;
+    p.spare <- b :: p.spare
+  end
+
+let clear_seq tbl id =
+  let b = Itbl.get tbl id in
+  if b != Iarr.sentinel then Iarr.clear b
+
 (* -- predecessor-table maintenance -------------------------------------- *)
 
 (* The table mirrors the deduplicated successor sets: [q] appears at
-   most once in [preds_tbl.(s)] however many tree leaves of [q] point
-   at [s].  The exit sentinel's self-edge is not recorded, matching
-   the preds map this module always exposed. *)
+   most once (live) in [preds_tbl.(s)] however many tree leaves of [q]
+   point at [s].  The exit sentinel's self-edge is not recorded,
+   matching the preds map this module always exposed.  Appends go at
+   the end; removal tombstones with [-1] so no list/array is copied
+   per edge. *)
 
 let pred_add p ~src ~dst =
   if not (src = dst && is_exit p src) then
-    Itbl.set p.preds_tbl dst (src :: Itbl.get p.preds_tbl dst)
+    Iarr.push (seq_for p p.preds_tbl dst) src
 
 let pred_remove p ~src ~dst =
-  if not (src = dst && is_exit p src) then
-    match Itbl.get p.preds_tbl dst with
-    | [] -> ()
-    | l -> Itbl.set p.preds_tbl dst (List.filter (fun q -> q <> src) l)
+  if not (src = dst && is_exit p src) then begin
+    let b = Itbl.get p.preds_tbl dst in
+    if b != Iarr.sentinel then begin
+      let live = ref 0 in
+      for i = 0 to Iarr.length b - 1 do
+        let v = Iarr.unsafe_get b i in
+        if v = src then Iarr.set b i (-1) else if v >= 0 then incr live
+      done;
+      (* keep redirect churn from growing the buffer without bound *)
+      if Iarr.length b - !live > !live + 8 then Iarr.compact_nonneg b
+    end
+  end
 
+(* Refresh node [n]'s successor mirror from its tree.  Walks consume
+   successors far more often than trees change; serving them through
+   [Node.succs] forced a full index rebuild after every invalidation,
+   which dominated the migration walk's allocation. *)
+let rebuild_succs p (n : Node.t) =
+  Itbl.set p.succs_tbl n.Node.id (Ctree.succs n.Node.ctree)
+
+(* [link_node] refreshes the mirror first, so the unlink/mutate/link
+   bracket every structural edit already follows keeps it current:
+   [unlink_node] reads the pre-edit mirror, [link_node] the new tree. *)
 let link_node p (n : Node.t) =
-  List.iter (fun s -> pred_add p ~src:n.Node.id ~dst:s) (Node.succs n)
+  rebuild_succs p n;
+  List.iter
+    (fun s -> pred_add p ~src:n.Node.id ~dst:s)
+    (Itbl.get p.succs_tbl n.Node.id)
 
 let unlink_node p (n : Node.t) =
-  List.iter (fun s -> pred_remove p ~src:n.Node.id ~dst:s) (Node.succs n)
+  List.iter
+    (fun s -> pred_remove p ~src:n.Node.id ~dst:s)
+    (Itbl.get p.succs_tbl n.Node.id)
 
 (* -- construction ------------------------------------------------------ *)
-
-(** [create ~first_reg ()] is an empty program: an entry node falling
-    through to the exit sentinel.  [first_reg] reserves register ids
-    below it for the caller (parameters, named scalars). *)
-let create ?(first_reg = 0) () =
-  let nodes = Itbl.create None in
-  let exit_id = 0 and entry = 1 in
-  Itbl.set nodes exit_id
-    (Some (Node.make ~id:exit_id ~ops:[] ~ctree:(Ctree.leaf exit_id)));
-  Itbl.set nodes entry
-    (Some (Node.make ~id:entry ~ops:[] ~ctree:(Ctree.leaf exit_id)));
-  let p =
-    {
-      nodes;
-      entry;
-      exit_id;
-      op_home = Itbl.create (-1);
-      preds_tbl = Itbl.create [];
-      next_node = 2;
-      next_reg = first_reg;
-      next_op = 0;
-      version = 0;
-      reach_cache = None;
-      rpo_cache = None;
-      gc_reclaimed = 0;
-    }
-  in
-  pred_add p ~src:entry ~dst:exit_id;
-  p
-
-let fresh_reg p =
-  let r = p.next_reg in
-  p.next_reg <- r + 1;
-  Reg.of_int r
-
-let fresh_op_id p =
-  let i = p.next_op in
-  p.next_op <- i + 1;
-  i
-
-(** [node p id] is the node with id [id].  Raises [Not_found] on a
-    dangling id — a well-formedness violation. *)
-let node p id =
-  match Itbl.get p.nodes id with Some n -> n | None -> raise Not_found
-
-let node_opt p id = if id < 0 then None else Itbl.get p.nodes id
-let entry_node p = node p p.entry
 
 (* Keep the fresh-register supply above every register mentioned by any
    operation ever placed in the program, so renaming never collides
@@ -137,6 +212,88 @@ let register_ops p nid ops =
       Itbl.set p.op_home op.id nid)
     ops
 
+(* Rebuild node [n]'s flat mirrors (op store, sequences, packed
+   counts) from its record — the one-stop path for node creation and
+   [restore]. *)
+let build_flat p (n : Node.t) =
+  let id = n.Node.id in
+  let oseq = seq_for p p.ops_seq id in
+  Iarr.clear oseq;
+  let counts = ref 0 in
+  List.iter
+    (fun (op : Operation.t) ->
+      store_op p op;
+      Iarr.push oseq op.Operation.id;
+      counts := !counts + count_delta_of_flags (Itbl.get p.op_flags op.Operation.id))
+    n.Node.ops;
+  let cseq = seq_for p p.cjs_seq id in
+  Iarr.clear cseq;
+  Ctree.iter_cjumps
+    (fun (cj : Operation.t) ->
+      store_op p cj;
+      Iarr.push cseq cj.Operation.id;
+      counts := !counts + (1 lsl 45))
+    n.Node.ctree;
+  Itbl.set p.node_counts id !counts
+
+(** [create ~first_reg ()] is an empty program: an entry node falling
+    through to the exit sentinel.  [first_reg] reserves register ids
+    below it for the caller (parameters, named scalars). *)
+let create ?(first_reg = 0) () =
+  let nodes = Itbl.create None in
+  let exit_id = 0 and entry = 1 in
+  Itbl.set nodes exit_id
+    (Some (Node.make ~id:exit_id ~ops:[] ~ctree:(Ctree.leaf exit_id)));
+  Itbl.set nodes entry
+    (Some (Node.make ~id:entry ~ops:[] ~ctree:(Ctree.leaf exit_id)));
+  let p =
+    {
+      nodes;
+      entry;
+      exit_id;
+      op_home = Itbl.create (-1);
+      op_store = Itbl.create None;
+      op_flags = Itbl.create (-1);
+      ops_seq = Itbl.create Iarr.sentinel;
+      cjs_seq = Itbl.create Iarr.sentinel;
+      node_counts = Itbl.create 0;
+      preds_tbl = Itbl.create Iarr.sentinel;
+      succs_tbl = Itbl.create [];
+      spare = [];
+      next_node = 2;
+      next_reg = first_reg;
+      next_op = 0;
+      version = 0;
+      reach_cache = None;
+      rpo_cache = None;
+      gc_reclaimed = 0;
+    }
+  in
+  let seed id =
+    match Itbl.get nodes id with Some n -> link_node p n | None -> assert false
+  in
+  seed exit_id;
+  seed entry;
+  p
+
+let fresh_reg p =
+  let r = p.next_reg in
+  p.next_reg <- r + 1;
+  Reg.of_int r
+
+let fresh_op_id p =
+  let i = p.next_op in
+  p.next_op <- i + 1;
+  i
+
+(** [node p id] is the node with id [id].  Raises [Not_found] on a
+    dangling id — a well-formedness violation. *)
+let node p id =
+  match Itbl.get p.nodes id with Some n -> n | None -> raise Not_found
+
+let node_opt p id = if id < 0 then None else Itbl.get p.nodes id
+let entry_node p = node p p.entry
+
 (** [fresh_node p ~ops ~ctree] allocates a new node and indexes its
     operations (conditional-tree jumps included). *)
 let fresh_node p ~ops ~ctree =
@@ -146,6 +303,7 @@ let fresh_node p ~ops ~ctree =
   Itbl.set p.nodes id (Some n);
   register_ops p id ops;
   register_ops p id (Ctree.cjumps ctree);
+  build_flat p n;
   link_node p n;
   touch p;
   n
@@ -158,6 +316,17 @@ let home p op_id =
   let h = Itbl.get p.op_home op_id in
   if h < 0 then None else Some h
 
+(** [home_int p op_id] — {!home} without the option box: the holding
+    node id, or [-1].  The scheduler's candidate scan calls this per
+    op per iteration. *)
+let home_int p op_id = Itbl.get p.op_home op_id
+
+(** [stored_op p op_id] is the canonical record of operation [op_id]
+    from the flat store.  The returned option is the stored box — no
+    allocation per query.  Entries survive removal from the graph:
+    callers gate on {!home_int} when placement matters. *)
+let stored_op p op_id = Itbl.get p.op_store op_id
+
 (** [add_op p nid op] appends [op] to node [nid]'s plain ops. *)
 let add_op p nid (op : Operation.t) =
   let n = node p nid in
@@ -166,23 +335,36 @@ let add_op p nid (op : Operation.t) =
   note_op_regs p op;
   note_op_id p op;
   Itbl.set p.op_home op.id nid;
+  store_op p op;
+  Iarr.push (seq_for p p.ops_seq nid) op.id;
+  Itbl.set p.node_counts nid
+    (Itbl.get p.node_counts nid + count_delta_of_flags (Itbl.get p.op_flags op.id));
   touch p
+
+(** [mem_plain_op p nid op_id] — is plain op [op_id] currently in node
+    [nid]?  Flat-sequence membership; no node index. *)
+let mem_plain_op p nid op_id = Iarr.mem (Itbl.get p.ops_seq nid) op_id
 
 (** [remove_op p nid op_id] removes plain op [op_id] from node [nid].
     Raises [Invalid_argument] if absent. *)
 let remove_op p nid op_id =
   let n = node p nid in
-  if not (Node.mem_op n op_id) then
+  if not (mem_plain_op p nid op_id) then
     invalid_arg
       (Printf.sprintf "Program.remove_op: op %d not in node %d" op_id nid);
   n.Node.ops <- List.filter (fun (o : Operation.t) -> o.id <> op_id) n.Node.ops;
   Node.note_remove_op n op_id;
   Itbl.set p.op_home op_id (-1);
+  ignore (Iarr.remove_first (Itbl.get p.ops_seq nid) op_id);
+  Itbl.set p.node_counts nid
+    (Itbl.get p.node_counts nid - count_delta_of_flags (Itbl.get p.op_flags op_id));
   touch p
 
 (** [replace_op p nid op] substitutes the plain op with [op.id] in node
     [nid] by [op] (in place, preserving order): used by renaming and
-    copy forwarding. *)
+    copy forwarding.  The op's shape may change (redundancy elimination
+    turns loads into copies), so its flags and the node's counts are
+    recomputed. *)
 let replace_op p nid (op : Operation.t) =
   let n = node p nid in
   let found = ref false in
@@ -198,6 +380,11 @@ let replace_op p nid (op : Operation.t) =
   if not !found then
     invalid_arg
       (Printf.sprintf "Program.replace_op: op %d not in node %d" op.id nid);
+  let old_delta = count_delta_of_flags (Itbl.get p.op_flags op.id) in
+  store_op p op;
+  let new_delta = count_delta_of_flags (Itbl.get p.op_flags op.id) in
+  Itbl.set p.node_counts nid
+    (Itbl.get p.node_counts nid - old_delta + new_delta);
   touch p
 
 (** [set_ctree p nid t] replaces node [nid]'s conditional tree,
@@ -205,13 +392,26 @@ let replace_op p nid (op : Operation.t) =
 let set_ctree p nid t =
   let n = node p nid in
   unlink_node p n;
-  List.iter
+  Ctree.iter_cjumps
     (fun (cj : Operation.t) -> Itbl.set p.op_home cj.id (-1))
-    (Ctree.cjumps n.Node.ctree);
+    n.Node.ctree;
   n.Node.ctree <- t;
   Node.invalidate_index n;
   link_node p n;
-  register_ops p nid (Ctree.cjumps t);
+  let cseq = seq_for p p.cjs_seq nid in
+  Iarr.clear cseq;
+  let cjs = ref 0 in
+  Ctree.iter_cjumps
+    (fun (cj : Operation.t) ->
+      note_op_regs p cj;
+      note_op_id p cj;
+      Itbl.set p.op_home cj.id nid;
+      store_op p cj;
+      Iarr.push cseq cj.Operation.id;
+      incr cjs)
+    t;
+  Itbl.set p.node_counts nid
+    (Itbl.get p.node_counts nid land lnot (0x7fff lsl 45) lor (!cjs lsl 45));
   touch p
 
 (** [take_ops p nid] empties node [nid]'s plain ops and returns them
@@ -222,6 +422,8 @@ let take_ops p nid =
   let ops = n.Node.ops in
   n.Node.ops <- [];
   Node.invalidate_index n;
+  clear_seq p.ops_seq nid;
+  Itbl.set p.node_counts nid (Itbl.get p.node_counts nid land (0x7fff lsl 45));
   touch p;
   ops
 
@@ -257,11 +459,59 @@ let clone_instruction p ~ops ~ctree =
   in
   (ops', ctree')
 
+(* -- flat queries -------------------------------------------------------- *)
+
+(** [counts_packed p nid] — node [nid]'s slot-demand counters packed as
+    by {!Node.pack_counts}; [0] for an absent node.  Maintained
+    incrementally: machines answer [room_for] from this without
+    forcing the node's hash index. *)
+let counts_packed p nid = Itbl.get p.node_counts nid
+
+(** [iter_plain_op_ids p nid f] — [f] over node [nid]'s plain op ids in
+    instruction order, allocation-free. *)
+let iter_plain_op_ids p nid f = Iarr.iter f (Itbl.get p.ops_seq nid)
+
+(** [iter_cj_op_ids p nid f] — [f] over node [nid]'s conditional-jump
+    ids in tree pre-order, allocation-free. *)
+let iter_cj_op_ids p nid f = Iarr.iter f (Itbl.get p.cjs_seq nid)
+
+(** [iter_op_ids p nid f] — plain ops then conditional jumps: the
+    [Node.all_ops] order without the list. *)
+let iter_op_ids p nid f =
+  iter_plain_op_ids p nid f;
+  iter_cj_op_ids p nid f
+
+(** [fold_preds p id ~init ~f] folds [f] over node [id]'s recorded
+    predecessors newest-first (the historical cons order), tombstones
+    skipped, dead nodes included — the raw table, allocation-free. *)
+let fold_preds p id ~init ~f =
+  let b = Itbl.get p.preds_tbl id in
+  let acc = ref init in
+  for i = Iarr.length b - 1 downto 0 do
+    let q = Iarr.unsafe_get b i in
+    if q >= 0 then acc := f !acc q
+  done;
+  !acc
+
+(* Newest-first snapshot of the raw table (dead preds included) — the
+   list the old cons-list representation exposed. *)
+let preds_raw p id =
+  let b = Itbl.get p.preds_tbl id in
+  let acc = ref [] in
+  for i = 0 to Iarr.length b - 1 do
+    let q = Iarr.unsafe_get b i in
+    if q >= 0 then acc := q :: !acc
+  done;
+  !acc
+
 (* -- graph queries ------------------------------------------------------ *)
 
 (** [succs p id] is the successor ids of node [id]; the exit sentinel
-    has none. *)
-let succs p id = if is_exit p id then [] else Node.succs (node p id)
+    has none.  Served from the mirror — no node-index rebuild and no
+    allocation per query.  The shared list is still a snapshot:
+    migration walkers capture it before hopping, and a hop replaces
+    (never mutates) the mirror entry. *)
+let succs p id = if is_exit p id then [] else Itbl.get p.succs_tbl id
 
 (** [iter_nodes p f] applies [f] to every node, exit sentinel included,
     in ascending id order. *)
@@ -313,25 +563,30 @@ let reachable p =
   Bytes.iteri (fun id c -> if c <> '\000' then Hashtbl.replace seen id ()) m;
   seen
 
+(* Live predecessors of [id], newest-first — the filter the cons-list
+   table's accessors always applied. *)
+let live_preds_list p id =
+  let b = Itbl.get p.preds_tbl id in
+  let acc = ref [] in
+  for i = 0 to Iarr.length b - 1 do
+    let q = Iarr.unsafe_get b i in
+    if q >= 0 && is_live p q then acc := q :: !acc
+  done;
+  !acc
+
 (** [preds p] is the full predecessor map (node id -> predecessor ids),
     over reachable nodes only. *)
 let preds p =
   let m = live_mask p in
   let tbl = Hashtbl.create 64 in
   Bytes.iteri
-    (fun id c ->
-      if c <> '\000' then
-        Hashtbl.replace tbl id
-          (List.filter (fun q -> is_live p q) (Itbl.get p.preds_tbl id)))
+    (fun id c -> if c <> '\000' then Hashtbl.replace tbl id (live_preds_list p id))
     m;
   tbl
 
 (** [preds_of p id] — the live predecessors of node [id], served from
     the incrementally maintained table (no full-graph rebuild). *)
-let preds_of p id =
-  match Itbl.get p.preds_tbl id with
-  | [] -> []
-  | l -> List.filter (fun q -> is_live p q) l
+let preds_of p id = live_preds_list p id
 
 (** [rpo p] is a reverse-postorder listing of the reachable nodes from
     the entry — the top-down scheduling order.  Memoized per program
@@ -369,7 +624,8 @@ let all_ops p =
 (* -- structural edits --------------------------------------------------- *)
 
 (** [redirect p ~from_ ~old_ ~new_] rewrites node [from_]'s tree leaves
-    pointing at [old_] to point at [new_]. *)
+    pointing at [old_] to point at [new_].  The jump records (and so
+    [cjs_seq] and the counts) are unchanged — only edges move. *)
 let redirect p ~from_ ~old_ ~new_ =
   let n = node p from_ in
   unlink_node p n;
@@ -387,19 +643,25 @@ let delete_node p id =
   let n = node p id in
   if not (Node.is_empty n) then
     invalid_arg "Program.delete_node: node not empty";
-  let succ = match Node.succs n with [ s ] -> s | _ -> assert false in
+  let succ = match succs p id with [ s ] -> s | _ -> assert false in
+  (* snapshot first: each redirect tombstones this very table *)
   List.iter
     (fun q -> redirect p ~from_:q ~old_:id ~new_:succ)
-    (Itbl.get p.preds_tbl id);
+    (preds_raw p id);
   unlink_node p n;
-  Itbl.set p.preds_tbl id [];
+  recycle_seq p p.preds_tbl id;
+  Itbl.set p.succs_tbl id [];
+  recycle_seq p p.ops_seq id;
+  recycle_seq p p.cjs_seq id;
+  Itbl.set p.node_counts id 0;
   Itbl.set p.nodes id None;
   touch p
 
 (** [gc p] drops nodes unreachable from the entry and de-indexes their
     operations.  Returns the number of nodes collected.  Removing
     unreachable nodes changes no reachable-set-derived result, so the
-    program version is left alone and analysis caches survive. *)
+    program version is left alone and analysis caches survive.  The
+    dead nodes' flat buffers go back to the arena pool. *)
 let gc p =
   let m = live_mask p in
   let dead =
@@ -413,12 +675,16 @@ let gc p =
   List.iter
     (fun id ->
       let n = node p id in
-      List.iter
-        (fun (op : Operation.t) ->
-          if Itbl.get p.op_home op.id = id then Itbl.set p.op_home op.id (-1))
-        (Node.all_ops n);
+      let dehome oid =
+        if Itbl.get p.op_home oid = id then Itbl.set p.op_home oid (-1)
+      in
+      iter_op_ids p id dehome;
       unlink_node p n;
-      Itbl.set p.preds_tbl id [];
+      recycle_seq p p.preds_tbl id;
+      Itbl.set p.succs_tbl id [];
+      recycle_seq p p.ops_seq id;
+      recycle_seq p p.cjs_seq id;
+      Itbl.set p.node_counts id 0;
       Itbl.set p.nodes id None)
     dead;
   let k = List.length dead in
@@ -462,11 +728,20 @@ let snapshot p =
 let restore p s =
   Itbl.reset p.nodes;
   Itbl.reset p.preds_tbl;
+  Itbl.reset p.succs_tbl;
+  Itbl.reset p.ops_seq;
+  Itbl.reset p.cjs_seq;
+  Itbl.reset p.op_store;
+  Itbl.reset p.op_flags;
+  Itbl.reset p.node_counts;
+  p.spare <- [];
   List.iter
     (fun (id, ops, ctree) ->
       Itbl.set p.nodes id (Some (Node.make ~id ~ops ~ctree)))
     s.s_nodes;
-  iter_nodes p (fun n -> link_node p n);
+  iter_nodes p (fun n ->
+      link_node p n;
+      build_flat p n);
   Itbl.reset p.op_home;
   List.iter (fun (k, v) -> Itbl.set p.op_home k v) s.s_homes;
   p.next_node <- s.s_next_node;
@@ -474,10 +749,11 @@ let restore p s =
   p.next_op <- s.s_next_op;
   touch p
 
-(** [check_derived_state p] — do the predecessor table and every
-    materialized node index agree with a from-scratch recomputation?
-    [None] when coherent; [Some reason] otherwise.  Test-suite oracle
-    for the incremental maintenance in this module. *)
+(** [check_derived_state p] — do the predecessor table, the flat
+    stores and every materialized node index agree with a from-scratch
+    recomputation?  [None] when coherent; [Some reason] otherwise.
+    Test-suite oracle for the incremental maintenance in this
+    module. *)
 let check_derived_state p =
   let norm l = List.sort Int.compare l in
   let expected = Hashtbl.create 64 in
@@ -501,18 +777,74 @@ let check_derived_state p =
             let want =
               match Hashtbl.find_opt expected id with Some l -> norm l | None -> []
             in
-            let got = norm (Itbl.get p.preds_tbl id) in
-            if want = got then None
-            else Some (Printf.sprintf "preds_tbl mismatch at n%d" id))
+            let got = norm (preds_raw p id) in
+            if want <> got then
+              Some (Printf.sprintf "preds_tbl mismatch at n%d" id)
+            else if Itbl.get p.succs_tbl id <> Ctree.succs n.Node.ctree then
+              Some (Printf.sprintf "succs_tbl mismatch at n%d" id)
+            else None)
+      None
+  in
+  let flat_problem () =
+    fold_nodes p
+      (fun (n : Node.t) acc ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            let id = n.Node.id in
+            let want_ops = List.map (fun (o : Operation.t) -> o.id) n.Node.ops in
+            let want_cjs =
+              List.map (fun (o : Operation.t) -> o.id) (Ctree.cjumps n.Node.ctree)
+            in
+            if Iarr.to_list (Itbl.get p.ops_seq id) <> want_ops then
+              Some (Printf.sprintf "ops_seq mismatch at n%d" id)
+            else if Iarr.to_list (Itbl.get p.cjs_seq id) <> want_cjs then
+              Some (Printf.sprintf "cjs_seq mismatch at n%d" id)
+            else begin
+              let fresh =
+                List.fold_left
+                  (fun acc (o : Operation.t) ->
+                    acc + count_delta_of_flags (op_flags_of o))
+                  0
+                  (Node.all_ops n)
+              in
+              if Itbl.get p.node_counts id <> fresh then
+                Some (Printf.sprintf "node_counts mismatch at n%d" id)
+              else
+                List.find_map
+                  (fun (o : Operation.t) ->
+                    if Itbl.get p.op_home o.id <> id then
+                      Some
+                        (Printf.sprintf "op_home mismatch for op %d at n%d" o.id
+                           id)
+                    else
+                      match Itbl.get p.op_store o.id with
+                      | Some o' when o' == o -> (
+                          if Itbl.get p.op_flags o.id <> op_flags_of o then
+                            Some
+                              (Printf.sprintf "op_flags mismatch for op %d" o.id)
+                          else None)
+                      | Some _ ->
+                          Some
+                            (Printf.sprintf "op_store stale record for op %d"
+                               o.id)
+                      | None ->
+                          Some
+                            (Printf.sprintf "op_store missing op %d" o.id))
+                  (Node.all_ops n)
+            end)
       None
   in
   match pred_problem with
   | Some _ as r -> r
-  | None ->
-      fold_nodes p
-        (fun n acc ->
-          match acc with Some _ -> acc | None -> Node.index_coherent n)
-        None
+  | None -> (
+      match flat_problem () with
+      | Some _ as r -> r
+      | None ->
+          fold_nodes p
+            (fun n acc ->
+              match acc with Some _ -> acc | None -> Node.index_coherent n)
+            None)
 
 let pp ppf p =
   let ids = rpo p in

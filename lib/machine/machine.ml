@@ -59,6 +59,49 @@ let slot_demand m (n : Node.t) =
   let c = Node.counts n in
   c.Node.plain + c.Node.cjumps - (if m.copies_free then c.Node.copies else 0)
 
+(* Packed-counts variants: same accounting, fed from
+   [Program.counts_packed]'s bit-packed counters instead of the node's
+   lazily built index — the allocation-free path the migration
+   legality scan uses. *)
+
+let used_slots_packed m packed cls =
+  match cls with
+  | Mem -> Node.packed_mems packed
+  | Branch -> Node.packed_cjumps packed
+  | Alu ->
+      Node.packed_plain packed - Node.packed_mems packed
+      - if m.copies_free then Node.packed_copies packed else 0
+
+(** [slot_demand_packed m packed] — {!slot_demand} from a
+    {!Node.pack_counts}-packed counter word. *)
+let slot_demand_packed m packed =
+  Node.packed_plain packed + Node.packed_cjumps packed
+  - if m.copies_free then Node.packed_copies packed else 0
+
+(** [room_for_packed m packed op] — {!room_for} from a packed counter
+    word; allocation-free. *)
+let room_for_packed m packed (op : Operation.t) =
+  if not (counted m op) then true
+  else
+    match m.shape with
+    | Unlimited -> true
+    | Homogeneous k -> slot_demand_packed m packed + 1 <= k
+    | Typed { alu; mem; branch } ->
+        let cls = class_of op in
+        let limit = match cls with Alu -> alu | Mem -> mem | Branch -> branch in
+        used_slots_packed m packed cls + 1 <= limit
+
+(** [fits_packed m packed] — {!fits} from a packed counter word;
+    allocation-free. *)
+let fits_packed m packed =
+  match m.shape with
+  | Unlimited -> true
+  | Homogeneous k -> slot_demand_packed m packed <= k
+  | Typed { alu; mem; branch } ->
+      used_slots_packed m packed Alu <= alu
+      && used_slots_packed m packed Mem <= mem
+      && used_slots_packed m packed Branch <= branch
+
 (** [slot_demand_scan m node] — reference implementation of
     {!slot_demand} scanning the op lists (equivalence oracle). *)
 let slot_demand_scan m (n : Node.t) =

@@ -13,6 +13,8 @@ type cell = {
   tech : string;  (** ["grip"] or ["post"] *)
   old_speedup : float;
   new_speedup : float;
+  old_alloc : float option;  (** per-cell [gc.alloc_bytes], when present *)
+  new_alloc : float option;
 }
 
 type result = {
@@ -34,7 +36,9 @@ let schema_version doc =
            (String.length s - String.length prefix))
   | _ -> None
 
-(* Flatten an artifact into ordered ((loop, fu, tech), speedup) cells. *)
+(* Flatten an artifact into ordered ((loop, fu, tech), (speedup,
+   alloc_bytes option)) cells.  [gc.alloc_bytes] appeared in schema /6;
+   older artifacts diff fine, they just can't gate on allocation. *)
 let cells_of doc =
   let loops =
     Option.value ~default:[]
@@ -52,8 +56,13 @@ let cells_of doc =
                 List.filter_map
                   (fun tech ->
                     Option.bind (Json.member tech v) (fun c ->
+                        let alloc =
+                          Option.bind (Json.member "gc" c) (fun g ->
+                              Option.bind (Json.member "alloc_bytes" g)
+                                Json.to_float)
+                        in
                         Option.map
-                          (fun s -> ((name, field, tech), s))
+                          (fun s -> ((name, field, tech), (s, alloc)))
                           (Option.bind (Json.member "speedup" c) Json.to_float)))
                   [ "grip"; "post" ]
               else [])
@@ -78,11 +87,12 @@ let diff ~old_ ~new_ =
       let label (l, f, t) = Printf.sprintf "%s/%s/%s" l f t in
       let cells =
         List.filter_map
-          (fun (key, new_speedup) ->
+          (fun (key, (new_speedup, new_alloc)) ->
             Option.map
-              (fun old_speedup ->
+              (fun (old_speedup, old_alloc) ->
                 let loop, fu, tech = key in
-                { loop; fu; tech; old_speedup; new_speedup })
+                { loop; fu; tech; old_speedup; new_speedup; old_alloc;
+                  new_alloc })
               (List.assoc_opt key ocells))
           ncells
       in
@@ -102,16 +112,41 @@ let regressions ?(tolerance = 1e-9) r =
     (fun c -> c.tech = "grip" && c.old_speedup -. c.new_speedup > tolerance)
     r.cells
 
-let pp_result ?(tolerance = 1e-9) ppf r =
-  Format.fprintf ppf "%-6s %-5s %-5s %9s %9s %9s@." "loop" "fu" "tech" "old"
-    "new" "delta";
+(* Did a cell's scheduling-time allocation grow past the allowed
+   fraction?  Cells without a gc block on either side never trip. *)
+let alloc_regressed ~gc_tolerance c =
+  match (c.old_alloc, c.new_alloc) with
+  | Some o, Some n -> n > o *. (1.0 +. gc_tolerance)
+  | _ -> false
+
+(** [gc_regressions ~gc_tolerance r] — GRiP cells whose per-cell
+    [gc.alloc_bytes] grew by more than the fraction [gc_tolerance]
+    (e.g. [0.25] allows +25%).  A separate gate from the speedup one:
+    allocation creep degrades multicore GC behaviour long before it
+    shows in single-cell speedups. *)
+let gc_regressions ~gc_tolerance r =
+  List.filter (fun c -> c.tech = "grip" && alloc_regressed ~gc_tolerance c) r.cells
+
+let pp_mb ppf = function
+  | Some b -> Format.fprintf ppf "%9.2f" (b /. 1048576.0)
+  | None -> Format.fprintf ppf "%9s" "-"
+
+let pp_result ?(tolerance = 1e-9) ?gc_tolerance ppf r =
+  Format.fprintf ppf "%-6s %-5s %-5s %9s %9s %9s %9s %9s@." "loop" "fu" "tech"
+    "old" "new" "delta" "oldMB" "newMB";
   List.iter
     (fun c ->
-      Format.fprintf ppf "%-6s %-5s %-5s %9.3f %9.3f %+9.3f%s@." c.loop c.fu
-        c.tech c.old_speedup c.new_speedup (delta c)
-        (if c.tech = "grip" && c.old_speedup -. c.new_speedup > tolerance then
-           "  REGRESSION"
-         else ""))
+      let speedup_reg = c.tech = "grip" && c.old_speedup -. c.new_speedup > tolerance in
+      let alloc_reg =
+        match gc_tolerance with
+        | Some g -> c.tech = "grip" && alloc_regressed ~gc_tolerance:g c
+        | None -> false
+      in
+      Format.fprintf ppf "%-6s %-5s %-5s %9.3f %9.3f %+9.3f %a %a%s%s@." c.loop
+        c.fu c.tech c.old_speedup c.new_speedup (delta c) pp_mb c.old_alloc
+        pp_mb c.new_alloc
+        (if speedup_reg then "  REGRESSION" else "")
+        (if alloc_reg then "  ALLOC-REGRESSION" else ""))
     r.cells;
   List.iter
     (fun l -> Format.fprintf ppf "only in old artifact: %s@." l)
@@ -126,4 +161,15 @@ let pp_result ?(tolerance = 1e-9) ppf r =
   else
     Format.fprintf ppf
       "%d cell(s) compared; %d GRiP regression(s) beyond tolerance %g@."
-      (List.length r.cells) (List.length regs) tolerance
+      (List.length r.cells) (List.length regs) tolerance;
+  match gc_tolerance with
+  | None -> ()
+  | Some g -> (
+      match gc_regressions ~gc_tolerance:g r with
+      | [] ->
+          Format.fprintf ppf "allocation gate clean (gc-tolerance +%g%%)@."
+            (100.0 *. g)
+      | aregs ->
+          Format.fprintf ppf
+            "%d GRiP cell(s) allocating beyond gc-tolerance +%g%%@."
+            (List.length aregs) (100.0 *. g))

@@ -17,12 +17,27 @@ type t = {
       (** dominator tree keyed by [Program.version]; per-context rather
           than global so concurrent or nested scheduler runs cannot
           observe each other's cache *)
-  mutable legality_cache :
-    (int * (int * int * int, (unit, Legality.failure) result) Hashtbl.t) option;
-      (** move-op verdicts keyed by [(from_, to_, op_id)], valid for one
-          program version only.  [Program.version] is globally monotonic
-          (even {!Program.restore} bumps it), so a version match always
-          means "same graph". *)
+  mutable legality_version : int;
+      (** program version the verdict tables speak for; on mismatch they
+          are cleared in place (no fresh table per version).
+          [Program.version] is globally monotonic (even
+          {!Program.restore} bumps it), so a version match always means
+          "same graph". *)
+  legality_int : (int, (unit, Legality.failure) result) Hashtbl.t;
+      (** move-op verdicts keyed by [(from_, to_, op_id)] packed into
+          one immediate int (21 bits per field) — the common case *)
+  legality_wide :
+    (int * int * int, (unit, Legality.failure) result) Hashtbl.t;
+      (** overflow table for ids beyond 21 bits *)
+  walk_marks : int Itbl.t;
+      (** migration-walk visited set, epoch-stamped: a walk bumps
+          [walk_stamp] instead of allocating a fresh table *)
+  mutable walk_stamp : int;
+  scan_marks : int Itbl.t;
+      (** gap-prevention traversal visited set — separate from
+          [walk_marks] because the gapless test runs inside a
+          migration walk *)
+  mutable scan_stamp : int;
   mutable gc_depth : int;
       (** > 0 inside {!defer_gc}: collections requested by committed
           moves are batched until the region exits *)
@@ -39,7 +54,13 @@ let make ?(rename = true) ?(obs = Grip_obs.null) program ~machine ~exit_live =
     rename;
     obs;
     dom_cache = None;
-    legality_cache = None;
+    legality_version = -1;
+    legality_int = Hashtbl.create 256;
+    legality_wide = Hashtbl.create 16;
+    walk_marks = Itbl.create 0;
+    walk_stamp = 0;
+    scan_marks = Itbl.create 0;
+    scan_stamp = 0;
     gc_depth = 0;
     gc_pending = false;
   }
@@ -51,7 +72,14 @@ let dominators t =
   let v = Program.version t.program in
   match t.dom_cache with
   | Some (v', dom) when v' = v -> dom
-  | _ ->
+  | Some (_, dom) ->
+      (* stale: rebuild in place, reusing the tables — handles to the
+         old tree are invalidated, which is exactly what keying the
+         cache by version already promised *)
+      Vliw_analysis.Dom.recompute dom t.program;
+      t.dom_cache <- Some (v, dom);
+      dom
+  | None ->
       let dom = Vliw_analysis.Dom.compute t.program in
       t.dom_cache <- Some (v, dom);
       dom
@@ -60,22 +88,38 @@ let live_in t id = Vliw_analysis.Liveness.live_in t.liveness id
 
 (* -- move-op legality memoization ---------------------------------------- *)
 
-(* The current version's verdict table, discarding a stale one. *)
-let legality_table t =
+(* The verdict tables are persistent and cleared in place when the
+   program version moves on: [Hashtbl.clear] keeps the bucket array,
+   so steady-state lookups and stores allocate nothing beyond the
+   entries themselves (the old design minted a fresh 64-bucket table
+   per program version — a top scheduler allocator). *)
+let legality_sync t =
   let v = Program.version t.program in
-  match t.legality_cache with
-  | Some (v', tbl) when v' = v -> tbl
-  | _ ->
-      let tbl = Hashtbl.create 64 in
-      t.legality_cache <- Some (v, tbl);
-      tbl
+  if t.legality_version <> v then begin
+    Hashtbl.clear t.legality_int;
+    Hashtbl.clear t.legality_wide;
+    t.legality_version <- v
+  end
+
+(* 21 bits per field covers node and op ids into the millions; the
+   packing is exact (checked) and falls back to a boxed-tuple table
+   beyond that. *)
+let packable x = x lsr 21 = 0
+
+let pack ~from_ ~to_ ~op_id =
+  (from_ lsl 42) lor (to_ lsl 21) lor op_id
 
 (** [legality_find t ~from_ ~to_ ~op_id] — the cached verdict for this
     move against the current program version, if any.  Records a
     [legality.cache_hits] / [legality.cache_misses] metric either
     way. *)
 let legality_find t ~from_ ~to_ ~op_id =
-  let r = Hashtbl.find_opt (legality_table t) (from_, to_, op_id) in
+  legality_sync t;
+  let r =
+    if packable from_ && packable to_ && packable op_id then
+      Hashtbl.find_opt t.legality_int (pack ~from_ ~to_ ~op_id)
+    else Hashtbl.find_opt t.legality_wide (from_, to_, op_id)
+  in
   let m = t.obs.Grip_obs.metrics in
   (match r with
   | Some _ -> Grip_obs.Metrics.incr m "legality.cache_hits"
@@ -85,7 +129,24 @@ let legality_find t ~from_ ~to_ ~op_id =
 (** [legality_store t ~from_ ~to_ ~op_id verdict] — memoize a verdict
     for the current program version. *)
 let legality_store t ~from_ ~to_ ~op_id verdict =
-  Hashtbl.replace (legality_table t) (from_, to_, op_id) verdict
+  legality_sync t;
+  if packable from_ && packable to_ && packable op_id then
+    Hashtbl.replace t.legality_int (pack ~from_ ~to_ ~op_id) verdict
+  else Hashtbl.replace t.legality_wide (from_, to_, op_id) verdict
+
+(* -- scratch visit sets -------------------------------------------------- *)
+
+(* Epoch-stamped membership: starting a traversal bumps the stamp;
+   membership is "mark equals current stamp".  No per-traversal table
+   allocation, no clearing.  The two sets nest: a migration walk
+   ([walk_*]) triggers gap-prevention scans ([scan_*]) at every hop. *)
+
+let walk_begin t = t.walk_stamp <- t.walk_stamp + 1
+let walk_seen t id = Itbl.get t.walk_marks id = t.walk_stamp
+let walk_mark t id = Itbl.set t.walk_marks id t.walk_stamp
+let scan_begin t = t.scan_stamp <- t.scan_stamp + 1
+let scan_seen t id = Itbl.get t.scan_marks id = t.scan_stamp
+let scan_mark t id = Itbl.set t.scan_marks id t.scan_stamp
 
 (* -- deferred garbage collection ----------------------------------------- *)
 

@@ -70,8 +70,8 @@ let hop (ctx : Ctx.t) hooks ~from_:s ~to_:n ~op_id =
     if Grip_obs.Provenance.enabled pv then
       Grip_obs.Provenance.record_hop pv ~op:op_id ~op' ~from_:s ~to_:n ~rule
   in
-  let from_node = Program.node p s in
-  match Node.find_any from_node op_id with
+  match (if Program.home_int p op_id = s then Program.stored_op p op_id else None)
+  with
   | None -> Error Vanished
   | Some op ->
       if not (hooks.allow_hop ~from_:s ~to_:n ~op) then begin
@@ -93,54 +93,80 @@ let hop (ctx : Ctx.t) hooks ~from_:s ~to_:n ~op_id =
             Ok r.Move_op.op.Operation.id
         | Error f -> Error (Op f)
 
+(* Walk state threaded through the top-level recursion below: one
+   record per walk where a nest of local closures used to be minted
+   (the walker runs once per migration attempt — the dominant call
+   count of a scheduling run). *)
+type walk = {
+  w_ctx : Ctx.t;
+  w_hooks : hooks;
+  mutable w_moved : int;
+  mutable w_current : int;
+  mutable w_failure : failure option;
+}
+
+let walk_dead p nid =
+  match Program.node_opt p nid with
+  | None -> true
+  | Some _ -> not (Program.is_live p nid)
+
+(* The successor loops recurse over the list spine directly — no
+   [List.iter] closure per visited node. *)
+let rec walk_go w nid =
+  let p = w.w_ctx.Ctx.program in
+  if w.w_hooks.early_stop ~moved:w.w_moved || Ctx.walk_seen w.w_ctx nid then ()
+  else begin
+    Ctx.walk_mark w.w_ctx nid;
+    if not (walk_dead p nid) then begin
+      (* Recurse first: deeper occurrences percolate up before we
+         try to pull the op across this level (Figure 4). *)
+      walk_descend w (Program.succs p nid);
+      if w.w_hooks.early_stop ~moved:w.w_moved then ()
+      else if walk_dead p nid then ()
+      else walk_pull w nid (Program.succs p nid)
+    end
+  end
+
+and walk_descend w = function
+  | [] -> ()
+  | s :: tl ->
+      if not (Program.is_exit w.w_ctx.Ctx.program s) then walk_go w s;
+      walk_descend w tl
+
+and walk_pull w nid = function
+  | [] -> ()
+  | s :: tl ->
+      let p = w.w_ctx.Ctx.program in
+      (if (not (Program.is_exit p s)) && Program.home_int p w.w_current = s
+       then
+         match hop w.w_ctx w.w_hooks ~from_:s ~to_:nid ~op_id:w.w_current with
+         | Ok id' ->
+             w.w_moved <- w.w_moved + 1;
+             w.w_current <- id'
+         | Error msg -> w.w_failure <- Some msg);
+      walk_pull w nid tl
+
 (** [migrate ctx ?hooks ~target ~op_id ()] — see module comment.
     Returns how far the operation got. *)
 let migrate (ctx : Ctx.t) ?(hooks = no_hooks) ~target ~op_id () =
   let p = ctx.Ctx.program in
-  let moved = ref 0 in
-  let current = ref op_id in
-  let last_failure = ref None in
-  let visited = Hashtbl.create 64 in
+  (* Visited set: the context's epoch-stamped scratch table — one
+     stamp bump instead of a fresh hash table per walk. *)
+  Ctx.walk_begin ctx;
+  let w =
+    { w_ctx = ctx; w_hooks = hooks; w_moved = 0; w_current = op_id;
+      w_failure = None }
+  in
   (* Garbage collection is deferred for the whole walk: commits mark
      nodes dead without sweeping, so [node_opt] alone no longer proves
-     liveness — the [is_live] checks below reproduce exactly the
-     view an eager collector would give.  The sweep is flushed before
-     the outcome is computed (a dead operation must report no home). *)
-  let dead p nid =
-    match Program.node_opt p nid with
-    | None -> true
-    | Some _ -> not (Program.is_live p nid)
-  in
-  let rec go nid =
-    if hooks.early_stop ~moved:!moved || Hashtbl.mem visited nid then ()
-    else begin
-      Hashtbl.replace visited nid ();
-      if not (dead p nid) then begin
-        (* Recurse first: deeper occurrences percolate up before we
-           try to pull the op across this level (Figure 4). *)
-        List.iter
-          (fun s -> if not (Program.is_exit p s) then go s)
-          (Program.succs p nid);
-        if hooks.early_stop ~moved:!moved then ()
-        else if dead p nid then ()
-        else
-          List.iter
-            (fun s ->
-              if (not (Program.is_exit p s)) && Program.home p !current = Some s
-              then
-                match hop ctx hooks ~from_:s ~to_:nid ~op_id:!current with
-                | Ok id' ->
-                    incr moved;
-                    current := id'
-                | Error msg -> last_failure := Some msg)
-            (Program.succs p nid)
-      end
-    end
-  in
-  Ctx.defer_gc ctx (fun () -> go target);
+     liveness — the [is_live] checks in the walker reproduce exactly
+     the view an eager collector would give.  The sweep is flushed
+     before the outcome is computed (a dead operation must report no
+     home). *)
+  Ctx.defer_gc ctx (fun () -> walk_go w target);
   {
-    moved = !moved;
-    reached_target = Program.home p !current = Some target;
-    final_id = !current;
-    last_failure = !last_failure;
+    moved = w.w_moved;
+    reached_target = Program.home_int p w.w_current = target;
+    final_id = w.w_current;
+    last_failure = w.w_failure;
   }

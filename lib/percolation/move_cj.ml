@@ -56,7 +56,7 @@ let move (ctx : Ctx.t) ~from_ ~to_ ~cj_id =
     (let to_node = Program.node p to_ and from_node = Program.node p from_ in
      if from_ = to_ then raise (Fail Not_adjacent);
      let landing =
-       match Node.path_to to_node from_ with
+       match Ctree.path_to to_node.Node.ctree from_ with
        | Some path -> path
        | None -> raise (Fail Not_adjacent)
      in
@@ -66,8 +66,11 @@ let move (ctx : Ctx.t) ~from_ ~to_ ~cj_id =
        | Some _ | None -> raise (Fail Not_root_cjump)
      in
      let cj = forward_cj ~landing to_node cj in
-     if not (Machine.room_for ctx.Ctx.machine to_node cj) then
-       raise (Fail No_room);
+     if
+       not
+         (Machine.room_for_packed ctx.Ctx.machine
+            (Program.counts_packed p to_) cj)
+     then raise (Fail No_room);
      (* If from_ has predecessors other than to_, it must survive
         intact for them, so every piece we build gets fresh operation
         ids; otherwise the true-arm copy can reuse the originals (and
@@ -75,7 +78,7 @@ let move (ctx : Ctx.t) ~from_ ~to_ ~cj_id =
      let retained =
        List.exists (fun q -> q <> to_) (Program.preds_of p from_)
      in
-     let retained = retained || Node.all_paths_to to_node from_ > 1 in
+     let retained = retained || Ctree.all_paths_to to_node.Node.ctree from_ > 1 in
      let moved_cj = if retained then Program.copy_op p cj else cj in
      (* Specialise from_ to one arm of [cj]: keep the ops whose guard
         admits the arm (stripping the decided entry), duplicate the

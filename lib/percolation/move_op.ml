@@ -104,11 +104,25 @@ let forward_sources_with ~def_in_to (op : Operation.t) =
   fix op 8
 
 let forward_sources ?(landing = []) (to_node : Node.t) op =
-  forward_sources_with op ~def_in_to:(fun r ->
-      List.find_opt
-        (fun (o : Operation.t) ->
-          Operation.guard_compatible o.Operation.guard landing)
-        (Node.defs_of to_node r))
+  (* Fast path: when no source register of [op] has any path-compatible
+     definition in [to_], forwarding is the identity — skip the rebuild
+     loop entirely (the common case: most checked moves find nothing to
+     forward, and the loop allocates a fresh operation per round). *)
+  let has_def r =
+    List.exists
+      (fun (o : Operation.t) ->
+        Operation.defines_reg o r
+        && Operation.guard_compatible o.Operation.guard landing)
+      to_node.Node.ops
+  in
+  if not (Operation.exists_src_reg has_def op) then op
+  else
+    forward_sources_with op ~def_in_to:(fun r ->
+        List.find_opt
+          (fun (o : Operation.t) ->
+            Operation.defines_reg o r
+            && Operation.guard_compatible o.Operation.guard landing)
+          to_node.Node.ops)
 
 (* Reference implementation: scan [to_node.ops] for defining ops. *)
 let forward_sources_scan ?(landing = []) (to_node : Node.t) op =
@@ -126,14 +140,18 @@ let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
   if from_ = to_ then raise (Fail Not_adjacent);
   let to_node = Program.node p to_ and from_node = Program.node p from_ in
   let landing =
-    match Node.path_to to_node from_ with
+    match Ctree.path_to to_node.Node.ctree from_ with
     | Some path -> path
     | None -> raise (Fail Not_adjacent)
   in
+  (* plain ops only, like the node index's by-id table: a conditional
+     jump with this id is Move_cj's business *)
   let op =
-    match Node.find_op from_node op_id with
-    | Some op -> op
-    | None -> raise (Fail Op_not_found)
+    match Program.stored_op p op_id with
+    | Some op
+      when Program.home_int p op_id = from_ && not (Operation.is_cjump op) ->
+        op
+    | Some _ | None -> raise (Fail Op_not_found)
   in
   if op.Operation.guard <> [] then raise (Fail Guarded);
   (* 1. true dependences, forwarding through copies in to_ *)
@@ -146,14 +164,16 @@ let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
     match
       List.find_opt
         (fun (o : Operation.t) ->
-          Operation.guard_compatible o.Operation.guard landing
+          Operation.mem_access o <> None
+          && Operation.guard_compatible o.Operation.guard landing
           && Alias.mem_conflict o op)
-        (Node.mem_ops to_node)
+        to_node.Node.ops
     with
     | Some o -> raise (Fail (Mem_dependence o))
     | None -> ());
-  (* 3. resource room at to_ *)
-  if not (Machine.room_for ctx.Ctx.machine to_node op) then raise (Fail No_room);
+  (* 3. resource room at to_ (packed per-node counters — no index) *)
+  if not (Machine.room_for_packed ctx.Ctx.machine (Program.counts_packed p to_) op)
+  then raise (Fail No_room);
   (* 4. move-past-read and same-destination conflicts *)
   let op = { op with Operation.guard = landing } in
   match Operation.def op with
@@ -161,12 +181,19 @@ let check (ctx : Ctx.t) ~from_ ~to_ ~op_id =
   | Some d ->
       let past_read =
         List.exists
-          (fun (o : Operation.t) -> o.Operation.id <> op_id)
-          (Node.uses_of from_node d)
-        || Node.cj_uses_of from_node d <> []
+          (fun (o : Operation.t) ->
+            o.Operation.id <> op_id && Operation.reads_reg o d)
+          from_node.Node.ops
+        || Ctree.exists_cjump
+             (fun (o : Operation.t) -> Operation.reads_reg o d)
+             from_node.Node.ctree
       in
       (* one definition of a register per instruction, program-wide *)
-      let output_conflict = Node.defs_of to_node d <> [] in
+      let output_conflict =
+        List.exists
+          (fun (o : Operation.t) -> Operation.defines_reg o d)
+          to_node.Node.ops
+      in
       if past_read || output_conflict then
         if ctx.Ctx.rename then
           let fresh = Program.fresh_reg p in
@@ -245,7 +272,7 @@ let isolate_landing (ctx : Ctx.t) ~from_ ~to_ =
     |> List.sort_uniq Int.compare
   in
   let to_node = Program.node p to_ in
-  let extra_paths = Node.all_paths_to to_node from_ > 1 in
+  let extra_paths = Ctree.all_paths_to to_node.Node.ctree from_ > 1 in
   if other_preds = [] && not extra_paths then None
   else begin
     let clone_ops, clone_tree =
@@ -276,8 +303,7 @@ let isolate_landing (ctx : Ctx.t) ~from_ ~to_ =
 (* Apply a legality-checked move. *)
 let commit (ctx : Ctx.t) ~from_ ~to_ ~op_id (moved_op, renamed) =
   let p = ctx.Ctx.program in
-  let from_node = Program.node p from_ in
-  let op = Option.get (Node.find_op from_node op_id) in
+  let op = Option.get (Program.stored_op p op_id) in
   let split = isolate_landing ctx ~from_ ~to_ in
   (* remove from from_, repairing with a copy if renamed *)
   Program.remove_op p from_ op_id;

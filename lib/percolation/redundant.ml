@@ -52,7 +52,7 @@ let eliminate_dead (p : Program.t) ~exit_live =
     List.iter
       (fun (nid, oid) ->
         match Program.node_opt p nid with
-        | Some n when Node.mem_op n oid ->
+        | Some _ when Program.mem_plain_op p nid oid ->
             Program.remove_op p nid oid;
             incr removed;
             continue_ := true
@@ -69,9 +69,8 @@ let main_chain (p : Program.t) =
   let rec go acc id =
     if Program.is_exit p id then List.rev acc
     else
-      let n = Program.node p id in
       let nexts =
-        List.filter (fun s -> not (Program.is_exit p s)) (Node.succs n)
+        List.filter (fun s -> not (Program.is_exit p s)) (Program.succs p id)
       in
       match nexts with
       | [ s ] -> go (id :: acc) s

@@ -44,9 +44,9 @@ let resources ?kernel stage ~machine (p : Program.t) =
         (fun id ->
           if Program.is_exit p id then None
           else
-            let n = Program.node p id in
-            if Machine.fits machine n then None
-            else Some (id, Machine.slot_demand machine n))
+            let c = Program.counts_packed p id in
+            if Machine.fits_packed machine c then None
+            else Some (id, Machine.slot_demand_packed machine c))
         (Program.rpo p)
     in
     match offender with

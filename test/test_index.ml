@@ -165,6 +165,140 @@ let prop_path_memo_equiv =
                (Node.succs n))
         (Program.rpo p))
 
+(* 5. tombstoned int-array predecessor table == a naive list model.
+   The model recomputes, from nothing but each node's tree, who points
+   at whom; the maintained table (append + [-1] tombstones + occasional
+   compaction) must agree after every batch of accepted moves — in
+   content for [preds_of] (live preds) and in multiset for the raw
+   [fold_preds] enumeration vs its snapshot list. *)
+let naive_preds p id =
+  Program.fold_nodes p
+    (fun (n : Node.t) acc ->
+      if
+        Program.is_live p n.Node.id
+        && (not (n.Node.id = id && Program.is_exit p id))
+        && List.mem id (Ctree.succs n.Node.ctree)
+      then n.Node.id :: acc
+      else acc)
+    []
+
+let prop_preds_list_model =
+  QCheck2.Test.make ~name:"int-array preds == naive list model" ~count:30
+    ~print:print_spec spec_gen (fun spec ->
+      let kern = Synthetic.generate spec in
+      let u = Grip.Unwind.build kern ~horizon:4 in
+      let p = u.Grip.Unwind.program in
+      let ctx =
+        Ctx.make p ~machine:(Machine.homogeneous 3)
+          ~exit_live:(Grip.Kernel.exit_live kern)
+      in
+      let next = make_rng (spec.Synthetic.seed + 17) in
+      let norm l = List.sort Int.compare l in
+      let check () =
+        List.iter
+          (fun id ->
+            let got = norm (Program.preds_of p id) in
+            let want = norm (naive_preds p id) in
+            if got <> want then
+              QCheck2.Test.fail_reportf
+                "preds model mismatch at n%d: table [%s] vs model [%s]" id
+                (String.concat ";" (List.map string_of_int got))
+                (String.concat ";" (List.map string_of_int want));
+            (* the raw fold enumerates exactly its snapshot list,
+               newest-first — no tombstone may leak out as [-1] *)
+            let folded =
+              Program.fold_preds p id ~init:[] ~f:(fun acc q -> q :: acc)
+            in
+            if List.exists (fun q -> q < 0) folded then
+              QCheck2.Test.fail_reportf "tombstone leaked at n%d" id;
+            if List.rev folded <> Program.preds_raw p id then
+              QCheck2.Test.fail_reportf
+                "fold_preds order disagrees with raw snapshot at n%d" id)
+          (Program.rpo p)
+      in
+      check ();
+      for _round = 1 to 6 do
+        for _ = 1 to 8 do
+          match all_candidates p with
+          | [] -> ()
+          | cands ->
+              let from_, to_, op_id = List.nth cands (next (List.length cands)) in
+              ignore (Move_op.move ctx ~from_ ~to_ ~op_id)
+        done;
+        ignore (Program.gc p);
+        check ()
+      done;
+      true)
+
+(* 6. flat accessors == naive node scans on migration-heavy schedules:
+   the struct-of-arrays stores (op-id sequences, packed counts, op
+   homes, successor mirror) must agree with the record/tree view after
+   real GRiP runs over the Livermore digest subset. *)
+let flat_accessors_agree () =
+  List.iter
+    (fun (name, fu, method_) ->
+      let e = Option.get (Workloads.Livermore.find name) in
+      let machine = Machine.homogeneous fu in
+      let o = Grip.Pipeline.run e.Workloads.Livermore.kernel ~machine ~method_ in
+      let p = o.Grip.Pipeline.program in
+      List.iter
+        (fun nid ->
+          let n = Program.node p nid in
+          (* op-id sequences reproduce the Node.all_ops order *)
+          let flat = ref [] in
+          Program.iter_op_ids p nid (fun oid -> flat := oid :: !flat);
+          let want =
+            List.map (fun (op : Operation.t) -> op.Operation.id) (Node.all_ops n)
+          in
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s fu%d n%d: flat op order" name fu nid)
+            want (List.rev !flat);
+          (* packed counts match a fresh scan *)
+          let c = Node.unpack_counts (Program.counts_packed p nid) in
+          let plain = List.length n.Node.ops in
+          let copies = List.length (List.filter Operation.is_copy n.Node.ops) in
+          let mems =
+            List.length
+              (List.filter
+                 (fun (o : Operation.t) -> Operation.mem_access o <> None)
+                 n.Node.ops)
+          in
+          let cjumps = Ctree.n_cjumps n.Node.ctree in
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s fu%d n%d: packed counts" name fu nid)
+            [ plain; copies; mems; cjumps ]
+            [ c.Node.plain; c.Node.copies; c.Node.mems; c.Node.cjumps ];
+          (* op homes and stored records round-trip *)
+          List.iter
+            (fun (op : Operation.t) ->
+              Alcotest.(check int)
+                (Printf.sprintf "%s fu%d op%d: home" name fu op.Operation.id)
+                nid
+                (Program.home_int p op.Operation.id);
+              match Program.stored_op p op.Operation.id with
+              | Some op' when op' == op -> ()
+              | _ ->
+                  Alcotest.failf "%s fu%d op%d: stored_op stale" name fu
+                    op.Operation.id)
+            (Node.all_ops n);
+          (* successor mirror serves the tree's view *)
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s fu%d n%d: succs mirror" name fu nid)
+            (if Program.is_exit p nid then [] else Ctree.succs n.Node.ctree)
+            (Program.succs p nid);
+          (* predecessor table vs the naive list model *)
+          Alcotest.(check (list int))
+            (Printf.sprintf "%s fu%d n%d: preds" name fu nid)
+            (List.sort Int.compare (naive_preds p nid))
+            (List.sort Int.compare (Program.preds_of p nid)))
+        (Program.rpo p))
+    [
+      ("LL1", 2, Grip.Pipeline.Grip);
+      ("LL3", 4, Grip.Pipeline.Grip);
+      ("LL5", 8, Grip.Pipeline.Grip);
+      ("LL7", 4, Grip.Pipeline.Grip_no_gap);
+    ]
+
 (* 4. full pipelines leave every maintained structure coherent *)
 let prop_pipeline_coherent =
   QCheck2.Test.make ~name:"derived state coherent after pipelines" ~count:15
@@ -244,12 +378,16 @@ let () =
         prop_legality_equiv;
         prop_room_for_equiv;
         prop_path_memo_equiv;
+        prop_preds_list_model;
         prop_pipeline_coherent;
       ]
   in
   Alcotest.run "index"
     [
       ("qcheck", qsuite);
+      ( "flat",
+        [ Alcotest.test_case "flat accessors == naive scans" `Quick
+            flat_accessors_agree ] );
       ( "digests",
         [ Alcotest.test_case "Livermore subset byte-identical" `Quick
             digest_subset ] );
