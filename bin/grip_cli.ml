@@ -217,6 +217,14 @@ let show_table_arg =
   in
   Arg.(value & flag & info [ "show-table" ] ~doc)
 
+let digest_arg =
+  let doc =
+    "Print the content digest of the rendered schedule — the same value the \
+     scheduling daemon serves, so offline and served schedules can be \
+     compared byte-for-byte."
+  in
+  Arg.(value & flag & info [ "digest" ] ~doc)
+
 (* Per-kernel observability: every task of a schedule batch gets a
    private handle — a ring tracer when --trace is on, a fresh metrics
    registry when --metrics is on — so worker domains never share a
@@ -317,8 +325,8 @@ let print_occupancy_on ppf kern machine
 (* Legacy unguarded path, kept for the Unifiable baseline (not a ladder
    rung).  Renders into [ppf]; an oracle mismatch raises the structured
    error instead of exiting, so batch mode reports it uniformly. *)
-let schedule_unifiable ~obs ~budget ?deadline ppf kern data machine horizon
-    table show_table =
+let schedule_unifiable ~obs ~budget ?deadline ~digest ppf kern data machine
+    horizon table show_table =
   let o =
     Pipeline.run ~obs
       ~budget:(Budget.sub budget ?deadline ())
@@ -355,16 +363,19 @@ let schedule_unifiable ~obs ~budget ?deadline ppf kern data machine horizon
         ~machine:(Format.asprintf "%a" Machine.pp machine)
         Grip_error.Validation
         (Grip_error.Oracle_mismatch { count = List.length ms; first }));
+  if digest then
+    Format.fprintf ppf "digest: %s@."
+      (Grip_serve.Cache.schedule_digest o.Pipeline.program);
   Format.fprintf ppf "scheduling time: %.3fs@." o.Pipeline.wall_seconds
 
 (* One kernel through the guarded pipeline, report rendered into
    [ppf]; failures raise [Grip_error.Error] for the pool to surface. *)
-let schedule_one ~obs ~budget ?deadline ppf (kern, data) machine method_
-    horizon table strictness no_fallback show_table =
+let schedule_one ~obs ~budget ?deadline ~digest ppf (kern, data) machine
+    method_ horizon table strictness no_fallback show_table =
   match method_ with
   | Pipeline.Unifiable ->
-      schedule_unifiable ~obs ~budget ?deadline ppf kern data machine horizon
-        table show_table
+      schedule_unifiable ~obs ~budget ?deadline ~digest ppf kern data machine
+        horizon table show_table
   | _ -> (
       match
         Pipeline.run_robust ~obs ?horizon ~strictness
@@ -397,10 +408,13 @@ let schedule_one ~obs ~budget ?deadline ppf (kern, data) machine method_
                 (p.Grip.Convergence.start + 1)
           | None -> Format.fprintf ppf "no pipeline pattern (rolled-loop rung)@.");
           Format.fprintf ppf "oracle: OK@.";
+          if digest then
+            Format.fprintf ppf "digest: %s@."
+              (Grip_serve.Cache.schedule_digest r.Pipeline.program);
           Format.fprintf ppf "scheduling time: %.3fs@." r.Pipeline.wall_seconds)
 
 let schedule_run kernels fus method_ horizon table strictness no_fallback
-    trace_file metrics show_table jobs deadline_ms retries =
+    trace_file metrics show_table digest jobs deadline_ms retries =
   let jobs = validate_jobs jobs in
   let deadline = validate_deadline_ms deadline_ms in
   let retries = validate_retries retries in
@@ -421,8 +435,8 @@ let schedule_run kernels fus method_ horizon table strictness no_fallback
     in
     let buf = Buffer.create 1024 in
     let ppf = Format.formatter_of_buffer buf in
-    schedule_one ~obs ~budget ?deadline ppf resolved_kernel machine method_
-      horizon table strictness no_fallback show_table;
+    schedule_one ~obs ~budget ?deadline ~digest ppf resolved_kernel machine
+      method_ horizon table strictness no_fallback show_table;
     Format.pp_print_flush ppf ();
     (Buffer.contents buf, ring, registry, worker)
   in
@@ -507,7 +521,8 @@ let schedule_cmd =
     Term.(
       const schedule_run $ kernels_arg $ fus_arg $ method_arg $ horizon_arg
       $ table_arg $ strictness_arg $ no_fallback_arg $ trace_arg $ metrics_arg
-      $ show_table_arg $ jobs_arg $ deadline_ms_arg $ retries_arg ~default:0)
+      $ show_table_arg $ digest_arg $ jobs_arg $ deadline_ms_arg
+      $ retries_arg ~default:0)
 
 (* -- stress ---------------------------------------------------------------- *)
 
@@ -525,11 +540,6 @@ let descend_rung start level =
     | [] -> Pipeline.R_sequential
   in
   drop level (match from Pipeline.ladder with [] -> Pipeline.ladder | l -> l)
-
-let percentile sorted p =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else sorted.(min (n - 1) (int_of_float (p *. float_of_int n)))
 
 let stress_run kernels fus tasks jobs deadline_ms retries queue fault every
     fault_ms poison gap_ms dump =
@@ -644,14 +654,16 @@ let stress_run kernels fus tasks jobs deadline_ms retries queue fault every
       | Error _ -> ())
     results;
   Hashtbl.iter (fun rung n -> Format.printf "  rung %-12s x%d@." rung n) census;
-  let lat =
-    let a = Array.of_list (List.map (fun s -> s *. 1e3) stats.Supervisor.durations) in
-    Array.sort compare a;
-    a
-  in
+  (* attempt latencies through the HDR surface (microseconds): same
+     bounded-error quantiles the serving plane reports *)
+  let lat = Obs.Hdr.create () in
+  List.iter
+    (fun s -> Obs.Hdr.record lat (int_of_float (s *. 1e6)))
+    stats.Supervisor.durations;
+  let ms q = float_of_int (Obs.Hdr.quantile lat q) /. 1e3 in
   Format.printf "  latency/attempt p50=%.1fms p99=%.1fms p999=%.1fms max=%.1fms@."
-    (percentile lat 0.50) (percentile lat 0.99) (percentile lat 0.999)
-    (percentile lat 1.0);
+    (ms 0.50) (ms 0.99) (ms 0.999)
+    (float_of_int (Obs.Hdr.max_value lat) /. 1e3);
   Array.iteri
     (fun w busy ->
       let wgap, wcause =
@@ -1031,6 +1043,217 @@ let bench_cmd =
   in
   Cmd.group (Cmd.info "bench" ~doc:"Bench-artifact utilities") [ diff_cmd ]
 
+(* -- serve / loadgen / metrics-dump ---------------------------------------- *)
+
+module Serve = Grip_serve.Server
+module Serve_client = Grip_serve.Client
+module Serve_loadgen = Grip_serve.Loadgen
+
+let socket_arg =
+  let doc = "Unix-domain socket path to serve on / connect to." in
+  Arg.(value & opt string "grip.sock" & info [ "socket"; "s" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc =
+    "Use TCP 127.0.0.1:$(docv) instead of the Unix-domain socket."
+  in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let addr_of socket port =
+  match port with Some p -> Serve.Tcp p | None -> Serve.Unix_sock socket
+
+let serve_run socket port jobs queue deadline_ms retries cache gap_ms
+    trace_file =
+  let jobs = validate_jobs jobs in
+  let deadline = validate_deadline_ms deadline_ms in
+  let retries = validate_retries retries in
+  let queue = validate_queue queue in
+  if cache < 1 then invalid "--cache must be at least 1 (got %d)" cache;
+  if Float.is_nan gap_ms || gap_ms < 0.0 then
+    invalid "--gap-ms must be non-negative (got %g)" gap_ms;
+  let config =
+    {
+      Serve.addr = addr_of socket port;
+      jobs;
+      queue_limit = queue;
+      deadline;
+      retries;
+      cache_capacity = cache;
+      gap_threshold = (if gap_ms = 0.0 then None else Some (gap_ms /. 1e3));
+      trace_file;
+    }
+  in
+  match Serve.run config with Ok _served -> () | Error e -> die e
+
+let serve_cmd =
+  let queue_arg =
+    let doc =
+      "Admission wave size: schedule requests are dispatched onto the \
+       supervised pool in waves of $(docv); overflow waves are load-shed \
+       one rung down the degradation ladder."
+    in
+    Arg.(value & opt int 64 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let cache_arg =
+    let doc = "Capacity of the content-addressed schedule cache (LRU)." in
+    Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
+  in
+  let gap_ms_arg =
+    let doc =
+      "Starvation-gap watchdog threshold in milliseconds (0 disables it); \
+       a flagged run dumps the trace ring at shutdown."
+    in
+    Arg.(value & opt float 0.0 & info [ "gap-ms" ] ~docv:"MS" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the scheduling daemon: framed requests on a loopback socket, \
+          dispatched through the supervised pool with a content-addressed \
+          schedule cache, HDR latency histograms and an OpenMetrics \
+          exposition")
+    Term.(
+      const serve_run $ socket_arg $ port_arg $ jobs_arg $ queue_arg
+      $ deadline_ms_arg $ retries_arg ~default:1 $ cache_arg $ gap_ms_arg
+      $ trace_arg)
+
+(* A loadgen kernel argument is a built-in name (sent by name) or a
+   minic file (sent as inline source). *)
+let loadgen_template fus method_ name =
+  if Sys.file_exists name then
+    match read_file name with
+    | Ok src ->
+        { Grip_serve.Protocol.kernel = None; source = Some src; fus;
+          method_ }
+    | Error e -> die e
+  else
+    { Grip_serve.Protocol.kernel = Some name; source = None; fus; method_ }
+
+let loadgen_run socket port kernels fus method_ requests rate period duty
+    shutdown =
+  if requests < 1 then invalid "--requests must be at least 1 (got %d)" requests;
+  if Float.is_nan rate || rate <= 0.0 then
+    invalid "--rate must be positive (got %g)" rate;
+  if Float.is_nan period || period <= 0.0 then
+    invalid "--period must be positive (got %g)" period;
+  if Float.is_nan duty || duty <= 0.0 || duty > 1.0 then
+    invalid "--duty must be in (0, 1] (got %g)" duty;
+  if fus < 1 then invalid "--fus must be at least 1 (got %d)" fus;
+  let method_name =
+    match method_ with
+    | Pipeline.Grip -> "grip"
+    | Pipeline.Grip_no_gap -> "grip-no-gap"
+    | Pipeline.Post -> "post"
+    | Pipeline.Unifiable -> invalid "loadgen: method unifiable is not served"
+  in
+  let templates = List.map (loadgen_template fus method_name) kernels in
+  let addr = addr_of socket port in
+  match Serve_client.connect addr with
+  | Error msg ->
+      die (Grip_error.make Grip_error.Serve (Grip_error.Io_failure msg))
+  | Ok client -> (
+      let finish () = Serve_client.close client in
+      Fun.protect ~finally:finish (fun () ->
+          match
+            Serve_loadgen.run client ~requests ~rate ~period ~duty templates
+          with
+          | Error msg ->
+              die
+                (Grip_error.make Grip_error.Serve
+                   (Grip_error.Protocol_violation msg))
+          | Ok report -> (
+              Serve_loadgen.pp_report Format.std_formatter report;
+              (* the daemon-side view of the burst: queue depth, sheds
+                 and the per-worker gap census from the exposition *)
+              (match Serve_client.metrics client with
+              | Ok text ->
+                  List.iter
+                    (fun line ->
+                      if
+                        List.exists
+                          (fun needle ->
+                            let ln = String.length needle in
+                            let rec has i =
+                              i + ln <= String.length line
+                              && (String.sub line i ln = needle || has (i + 1))
+                            in
+                            has 0)
+                          [ "queue_depth"; "gap"; "sheds" ]
+                      then Format.printf "  daemon %s@." line)
+                    (String.split_on_char '\n' text)
+              | Error msg ->
+                  Format.eprintf "grip: metrics fetch failed: %s@." msg);
+              if shutdown then
+                match Serve_client.shutdown client with
+                | Ok () -> ()
+                | Error msg ->
+                    die
+                      (Grip_error.make Grip_error.Serve
+                         (Grip_error.Protocol_violation msg)))))
+
+let loadgen_cmd =
+  let kernels_arg =
+    let doc = "Kernels cycled over by the request stream (default LL3)." in
+    Arg.(value & pos_all string [ "LL3" ] & info [] ~docv:"KERNEL" ~doc)
+  in
+  let requests_arg =
+    let doc = "Total requests to offer." in
+    Arg.(value & opt int 1000 & info [ "requests"; "n" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Mean offered rate, requests per second." in
+    Arg.(value & opt float 500.0 & info [ "rate" ] ~docv:"R" ~doc)
+  in
+  let period_arg =
+    let doc = "Burst cycle length in seconds." in
+    Arg.(value & opt float 0.25 & info [ "period" ] ~docv:"S" ~doc)
+  in
+  let duty_arg =
+    let doc =
+      "Busy fraction of each burst cycle: each cycle's requests are packed \
+       into its first $(docv) fraction, then the line goes idle."
+    in
+    Arg.(value & opt float 0.5 & info [ "duty" ] ~docv:"D" ~doc)
+  in
+  let shutdown_arg =
+    let doc = "Send a shutdown frame to the daemon after the run." in
+    Arg.(value & flag & info [ "shutdown" ] ~doc)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Open-loop (coordinated-omission-free) bursty load generator for \
+          the scheduling daemon: fixed arrival schedule, pipelined \
+          requests, latency measured from scheduled arrival; reports HDR \
+          percentiles, throughput and cache hit-rate")
+    Term.(
+      const loadgen_run $ socket_arg $ port_arg $ kernels_arg $ fus_arg
+      $ method_arg $ requests_arg $ rate_arg $ period_arg $ duty_arg
+      $ shutdown_arg)
+
+let metrics_dump_run socket port =
+  match Serve_client.connect ~attempts:1 (addr_of socket port) with
+  | Error msg ->
+      die (Grip_error.make Grip_error.Serve (Grip_error.Io_failure msg))
+  | Ok client ->
+      Fun.protect
+        ~finally:(fun () -> Serve_client.close client)
+        (fun () ->
+          match Serve_client.metrics client with
+          | Ok text -> print_string text
+          | Error msg ->
+              die
+                (Grip_error.make Grip_error.Serve
+                   (Grip_error.Protocol_violation msg)))
+
+let metrics_dump_cmd =
+  Cmd.v
+    (Cmd.info "metrics-dump"
+       ~doc:
+         "Fetch and print the running daemon's OpenMetrics exposition \
+          (counters, gauges, histograms, HDR latency quantile buckets)")
+    Term.(const metrics_dump_run $ socket_arg $ port_arg)
+
 (* -- list ----------------------------------------------------------------- *)
 
 let list_cmd =
@@ -1060,5 +1283,8 @@ let () =
             simulate_cmd;
             explain_cmd;
             bench_cmd;
+            serve_cmd;
+            loadgen_cmd;
+            metrics_dump_cmd;
             list_cmd;
           ]))

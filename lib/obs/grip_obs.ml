@@ -19,6 +19,8 @@ module Bottleneck = Bottleneck
 module Bench_diff = Bench_diff
 module Runtime = Runtime
 module Profile = Profile
+module Hdr = Hdr
+module Openmetrics = Openmetrics
 
 type t = { trace : Trace.t; metrics : Metrics.t; prov : Provenance.t }
 

@@ -1,0 +1,176 @@
+(** Log-linear HDR-style histograms with a bounded relative error.
+
+    The request-path latency surface: every recorded value lands in a
+    sub-bucket whose width is at most [2^(1-precision)] of its lower
+    bound, so any quantile read back from the histogram is within that
+    relative error of the exact nearest-rank quantile of the recorded
+    multiset — without keeping the samples.  Layout:
+
+    - bucket 0 covers [0, 2^p) with [2^p] unit sub-buckets (this
+      region is {e exact});
+    - bucket [i >= 1] covers [2^(p+i-1), 2^(p+i)) with [2^(p-1)]
+      sub-buckets of width [2^i].
+
+    Values are non-negative integers (the drivers record microseconds).
+    Negative values clamp to 0, values above [max_value] saturate into
+    the top sub-bucket (the true maximum is still tracked exactly).
+
+    Two histograms with the same configuration {!merge} by adding
+    their count arrays — the merge is {e exact}: the merged histogram
+    is indistinguishable from one that recorded the concatenated
+    multisets, which is what lets per-worker latency reports collapse
+    into one service-wide quantile surface.  A configuration mismatch
+    raises {!Config_mismatch} (a malformed worker report must degrade,
+    not kill the daemon — callers convert it to a structured
+    [Grip_error]). *)
+
+exception Config_mismatch of string
+
+type t = {
+  precision : int;  (** p: sub-bucket resolution; rel. error 2^(1-p) *)
+  max_value : int;  (** saturation bound (inclusive) *)
+  counts : int array;
+  mutable n : int;
+  mutable sum : int;  (** sum of recorded (clamped) values *)
+  mutable vmax : int;  (** exact maximum recorded, pre-saturation *)
+  mutable vmin : int;  (** exact minimum recorded (after 0-clamp) *)
+}
+
+(* position of the highest set bit + 1; [bits 0 = 0] *)
+let bits v =
+  let rec go v acc = if v = 0 then acc else go (v lsr 1) (acc + 1) in
+  go v 0
+
+let index_count ~precision ~max_value =
+  let top = max 0 (bits max_value - precision) in
+  (1 lsl precision) + (top * (1 lsl (precision - 1)))
+
+(** [create ()] — default precision 7 (relative error 1/64 ≈ 1.6%),
+    default max 2^30 (≈ 17.9 minutes in microseconds). *)
+let create ?(precision = 7) ?(max_value = 1 lsl 30) () =
+  if precision < 1 || precision > 20 then
+    invalid_arg "Hdr.create: precision must be in [1, 20]";
+  if max_value < 1 lsl precision then
+    invalid_arg "Hdr.create: max_value below the exact region";
+  {
+    precision;
+    max_value;
+    counts = Array.make (index_count ~precision ~max_value) 0;
+    n = 0;
+    sum = 0;
+    vmax = 0;
+    vmin = max_int;
+  }
+
+(** Guaranteed relative quantile error: [2^(1-precision)]. *)
+let rel_error t = 2.0 ** float_of_int (1 - t.precision)
+
+let index t v =
+  let p = t.precision in
+  if v < 1 lsl p then v
+  else
+    let i = bits v - p in
+    (1 lsl p) + ((i - 1) * (1 lsl (p - 1))) + ((v - (1 lsl (p + i - 1))) lsr i)
+
+(* [lower, upper] value bounds (inclusive) of sub-bucket [idx] *)
+let bounds t idx =
+  let p = t.precision in
+  if idx < 1 lsl p then (idx, idx)
+  else
+    let half = 1 lsl (p - 1) in
+    let i = 1 + ((idx - (1 lsl p)) / half) in
+    let off = (idx - (1 lsl p)) mod half in
+    let lower = (1 lsl (p + i - 1)) + (off lsl i) in
+    (lower, lower + (1 lsl i) - 1)
+
+let record t v =
+  let v = max 0 v in
+  if v > t.vmax then t.vmax <- v;
+  if v < t.vmin then t.vmin <- v;
+  let clamped = min v t.max_value in
+  let idx = index t clamped in
+  t.counts.(idx) <- t.counts.(idx) + 1;
+  t.n <- t.n + 1;
+  t.sum <- t.sum + clamped
+
+let count t = t.n
+let max_value t = if t.n = 0 then 0 else t.vmax
+let min_value t = if t.n = 0 then 0 else t.vmin
+let mean t = if t.n = 0 then 0.0 else float_of_int t.sum /. float_of_int t.n
+
+(** [quantile t q] — the nearest-rank [q]-quantile (rank [ceil (q*n)],
+    clamped to [1, n]).  Returns the upper bound of the sub-bucket the
+    ranked value fell into (capped at the exact maximum), so the
+    estimate [e] of an exact value [x] satisfies
+    [x <= e <= x * (1 + rel_error)] — the property the test suite
+    pins. *)
+let quantile t q =
+  if t.n = 0 then 0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int t.n)) in
+      max 1 (min t.n r)
+    in
+    let rec go idx seen =
+      let seen = seen + t.counts.(idx) in
+      if seen >= rank then min (snd (bounds t idx)) t.vmax
+      else go (idx + 1) seen
+    in
+    go 0 0
+  end
+
+(** [merge ~into src] — fold [src]'s counts into [into]; exact (see
+    module doc).  Raises {!Config_mismatch} when the two histograms
+    were not created with the same precision and max value. *)
+let merge ~into src =
+  if into.precision <> src.precision || into.max_value <> src.max_value then
+    raise
+      (Config_mismatch
+         (Printf.sprintf
+            "Hdr.merge: precision %d/max %d vs precision %d/max %d"
+            into.precision into.max_value src.precision src.max_value));
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.n <- into.n + src.n;
+  into.sum <- into.sum + src.sum;
+  if src.n > 0 then begin
+    if src.vmax > into.vmax then into.vmax <- src.vmax;
+    if src.vmin < into.vmin then into.vmin <- src.vmin
+  end
+
+(** [buckets t] — the non-empty sub-buckets as (inclusive upper bound,
+    count) pairs in ascending order; the OpenMetrics exposition
+    renders these as cumulative [le] buckets. *)
+let buckets t =
+  let acc = ref [] in
+  for idx = Array.length t.counts - 1 downto 0 do
+    if t.counts.(idx) > 0 then
+      acc := (snd (bounds t idx), t.counts.(idx)) :: !acc
+  done;
+  !acc
+
+(* -- nearest-rank over raw samples ---------------------------------------- *)
+
+(** [nearest_rank sorted q] — the exact nearest-rank quantile of an
+    ascending-sorted array: element at rank [ceil (q * n)] (1-based,
+    clamped to [1, n]); 0 on the empty array.  This is the definition
+    the histogram's {!quantile} approximates, extracted from the old
+    ad-hoc [grip stress] percentile so stress and loadgen report
+    identical quantile semantics. *)
+let nearest_rank sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+      max 1 (min n r)
+    in
+    sorted.(rank - 1)
+  end
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d mean=%.1f min=%d p50=%d p90=%d p99=%d p999=%d max=%d (rel.err \
+     %.2f%%)"
+    t.n (mean t) (min_value t) (quantile t 0.50) (quantile t 0.90)
+    (quantile t 0.99) (quantile t 0.999) (max_value t)
+    (100.0 *. rel_error t)

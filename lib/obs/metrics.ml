@@ -38,6 +38,15 @@ type t = {
   gauges : (string, float ref) Hashtbl.t;
 }
 
+(** Raised by {!merge} when two histograms recorded under the same
+    name disagree on bucket bounds — a malformed worker report.
+    Deliberately its own exception (not a bare [Invalid_argument]):
+    merge sites catch it and degrade (drop the report, count it)
+    instead of letting a stray worker kill a long-running daemon;
+    [Grip_robust.Grip_error.of_merge_mismatch] is the structured
+    conversion. *)
+exception Merge_mismatch of { name : string }
+
 let create () =
   {
     enabled = true;
@@ -152,7 +161,7 @@ let gauge t name =
     into one coherent report in any join order.  Histograms recorded
     under the same name must share bucket bounds (they do when both
     sides ran the same instrumented code); mismatched bounds raise
-    [Invalid_argument].  Merging from or into a disabled registry is
+    {!Merge_mismatch}.  Merging from or into a disabled registry is
     a no-op. *)
 let merge ~into src =
   if into.enabled && src.enabled then begin
@@ -178,10 +187,7 @@ let merge ~into src =
             h'.n <- h'.n + h.n;
             h'.sum <- h'.sum + h.sum;
             if h.vmax > h'.vmax then h'.vmax <- h.vmax
-        | Some _ ->
-            invalid_arg
-              (Printf.sprintf "Metrics.merge: histogram %S bounds mismatch"
-                 name))
+        | Some _ -> raise (Merge_mismatch { name }))
       src.hists
   end
 

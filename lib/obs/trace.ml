@@ -69,6 +69,12 @@ type event =
   | Runtime_mark of { domain : int; kind : string }
       (** an instantaneous runtime lifecycle event (domain spawn /
           terminate, ring start) on domain [domain] *)
+  | Request_stage of { id : int; stage : string }
+      (** a serving-path milestone of request [id] ("received",
+          "cache_hit", "scheduled", "respond", ...); together with the
+          [Stage "request N"] span the daemon wraps each request in,
+          this correlates one request's frontend -> schedule -> respond
+          path across the merged trace *)
   | Note of string
 
 let event_name = function
@@ -87,6 +93,7 @@ let event_name = function
   | Watchdog_gap _ -> "watchdog.gap"
   | Runtime_span { kind; _ } -> "runtime." ^ kind
   | Runtime_mark { kind; _ } -> "runtime." ^ kind
+  | Request_stage { stage; _ } -> "request." ^ stage
   | Note _ -> "note"
 
 let pp_event ppf = function
@@ -122,6 +129,8 @@ let pp_event ppf = function
       Format.fprintf ppf "runtime %s on domain %d (%.6fs)" kind domain dur
   | Runtime_mark { domain; kind } ->
       Format.fprintf ppf "runtime %s on domain %d" kind domain
+  | Request_stage { id; stage } ->
+      Format.fprintf ppf "request %d: %s" id stage
   | Note s -> Format.pp_print_string ppf s
 
 (* -- sinks ---------------------------------------------------------------- *)
@@ -229,6 +238,8 @@ let chrome_args = function
         ("dur_s", Json.Num dur) ]
   | Runtime_mark { domain; kind } ->
       [ ("domain", Json.int domain); ("kind", Json.Str kind) ]
+  | Request_stage { id; stage } ->
+      [ ("request", Json.int id); ("stage", Json.Str stage) ]
   | Note s -> [ ("note", Json.Str s) ]
 
 (** [chrome_record ?tid ~t0 ts ev] — one [trace_event] object; [ts]

@@ -297,6 +297,11 @@ let supervise_worker ?(config = default_config) ?(obs = Obs.null) ?degrade
     Fun.protect ~finally:finish (fun () ->
         let pending = ref (List.init n (fun i -> (i, 0))) in
         while !pending <> [] do
+          (* admission-queue depth at each wave boundary: a live gauge
+             for the serving plane plus its high-water mark *)
+          let depth = float_of_int (List.length !pending) in
+          Metrics.gauge_set obs.Obs.metrics "pool.queue_depth" depth;
+          Metrics.gauge_max obs.Obs.metrics "pool.queue_depth.peak" depth;
           let wave, rest = split_at config.queue_limit !pending in
           pending := rest;
           let outcomes = Pool.map_ordered_worker pool ~f:attempt wave in

@@ -1,0 +1,105 @@
+(** Blocking client for the scheduling daemon: connect (with retries,
+    since the daemon may still be binding), synchronous helpers for
+    the simple request kinds, and the raw pipelined send/recv pair the
+    load generator builds on. *)
+
+type t = { fd : Unix.file_descr; mutable next_id : int }
+
+let sockaddr = function
+  | Server.Unix_sock path -> Unix.ADDR_UNIX path
+  | Server.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+(** [connect ?attempts ?delay addr] — retrying connect: the daemon is
+    typically a freshly spawned child still on its way to [listen]. *)
+let connect ?(attempts = 100) ?(delay = 0.05) addr =
+  let sa = sockaddr addr in
+  let domain = Unix.domain_of_sockaddr sa in
+  let rec go n =
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () -> Ok { fd; next_id = 1 }
+    | exception Unix.Unix_error (err, _, _) ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        if n <= 1 then
+          Error
+            (Printf.sprintf "connect failed after %d attempt(s): %s" attempts
+               (Unix.error_message err))
+        else begin
+          Unix.sleepf delay;
+          go (n - 1)
+        end
+  in
+  go attempts
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let fresh_id t =
+  let id = t.next_id in
+  t.next_id <- (if id >= 0xFFFFFFFF then 1 else id + 1);
+  id
+
+(** [send t kind payload] — write one frame, returning its id. *)
+let send t kind payload =
+  let id = fresh_id t in
+  Protocol.write_frame t.fd { Protocol.id; kind; payload };
+  id
+
+(** [recv t] — block for the next frame from the daemon. *)
+let recv t =
+  match Protocol.read_frame t.fd with
+  | Ok (Some f) -> Ok f
+  | Ok None -> Error "daemon closed the connection"
+  | Error _ as e -> e
+
+let send_schedule t req =
+  send t Protocol.Schedule_req
+    (Grip_obs.Json.to_string (Protocol.request_to_json req))
+
+(* -- synchronous helpers --------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+(** [schedule t req] — one request, blocking for its reply. *)
+let schedule t req =
+  let id = send_schedule t req in
+  let* f = recv t in
+  if f.Protocol.id <> id then
+    Error
+      (Printf.sprintf "response id %d does not match request id %d"
+         f.Protocol.id id)
+  else
+    match f.Protocol.kind with
+    | Protocol.Schedule_resp -> Protocol.reply_of_payload f.Protocol.payload
+    | Protocol.Error_resp ->
+        let stage, msg = Protocol.error_of_payload f.Protocol.payload in
+        Error (Printf.sprintf "%s error: %s" stage msg)
+    | k -> Error ("unexpected " ^ Protocol.kind_name k)
+
+(** [metrics t] — the daemon's OpenMetrics exposition text. *)
+let metrics t =
+  let id = send t Protocol.Metrics_req "" in
+  let* f = recv t in
+  match f.Protocol.kind with
+  | Protocol.Metrics_resp when f.Protocol.id = id -> (
+      match Grip_obs.Json.parse f.Protocol.payload with
+      | Ok j -> (
+          match Grip_obs.Json.member "text" j with
+          | Some (Grip_obs.Json.Str text) -> Ok text
+          | _ -> Error "metrics reply missing text field")
+      | Error msg -> Error ("metrics reply is not JSON: " ^ msg))
+  | k -> Error ("unexpected " ^ Protocol.kind_name k)
+
+let ping t =
+  let id = send t Protocol.Ping_req "" in
+  let* f = recv t in
+  match f.Protocol.kind with
+  | Protocol.Pong_resp when f.Protocol.id = id -> Ok ()
+  | k -> Error ("unexpected " ^ Protocol.kind_name k)
+
+(** [shutdown t] — ask the daemon to drain and exit. *)
+let shutdown t =
+  let id = send t Protocol.Shutdown_req "" in
+  let* f = recv t in
+  match f.Protocol.kind with
+  | Protocol.Shutdown_resp when f.Protocol.id = id -> Ok ()
+  | k -> Error ("unexpected " ^ Protocol.kind_name k)

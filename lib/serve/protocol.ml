@@ -1,0 +1,268 @@
+(** Framed wire protocol of the scheduling daemon.
+
+    One frame = a 12-byte header followed by a JSON payload:
+
+    {v
+      offset 0  'G'            magic
+             1  'R'
+             2  version        (currently 1)
+             3  kind           request 0x01..0x04, response 0x81..0x84, 0xFF
+             4  id             request id, u32 big-endian
+             8  length         payload bytes, u32 big-endian (<= 1 MiB)
+            12  payload        [length] bytes of JSON
+    v}
+
+    The id is chosen by the client and echoed verbatim in the matching
+    response, so a pipelined client can correlate out-of-order-looking
+    streams (the daemon answers cache hits immediately and batches
+    misses through the supervised pool).  Payloads above {!max_payload}
+    are rejected before any allocation proportional to the claimed
+    length — a malformed or hostile length field costs the daemon
+    nothing but the connection.
+
+    Decoding never raises: every malformed input returns [Error] with
+    a human-readable reason, which the daemon wraps as a
+    [Grip_error.Protocol_violation] on the [Serve] stage. *)
+
+module Json = Grip_obs.Json
+
+type kind =
+  | Schedule_req  (** schedule a kernel; payload = {!request} *)
+  | Metrics_req  (** dump the daemon's OpenMetrics exposition *)
+  | Ping_req
+  | Shutdown_req  (** drain and exit cleanly *)
+  | Schedule_resp  (** payload = {!reply} *)
+  | Metrics_resp  (** payload = [{"text": exposition}] *)
+  | Pong_resp
+  | Shutdown_resp
+  | Error_resp  (** payload = [{"stage": s, "error": message}] *)
+
+let kind_code = function
+  | Schedule_req -> 0x01
+  | Metrics_req -> 0x02
+  | Ping_req -> 0x03
+  | Shutdown_req -> 0x04
+  | Schedule_resp -> 0x81
+  | Metrics_resp -> 0x82
+  | Pong_resp -> 0x83
+  | Shutdown_resp -> 0x84
+  | Error_resp -> 0xFF
+
+let kind_of_code = function
+  | 0x01 -> Some Schedule_req
+  | 0x02 -> Some Metrics_req
+  | 0x03 -> Some Ping_req
+  | 0x04 -> Some Shutdown_req
+  | 0x81 -> Some Schedule_resp
+  | 0x82 -> Some Metrics_resp
+  | 0x83 -> Some Pong_resp
+  | 0x84 -> Some Shutdown_resp
+  | 0xFF -> Some Error_resp
+  | _ -> None
+
+let kind_name = function
+  | Schedule_req -> "schedule"
+  | Metrics_req -> "metrics"
+  | Ping_req -> "ping"
+  | Shutdown_req -> "shutdown"
+  | Schedule_resp -> "schedule.reply"
+  | Metrics_resp -> "metrics.reply"
+  | Pong_resp -> "pong"
+  | Shutdown_resp -> "shutdown.reply"
+  | Error_resp -> "error"
+
+type frame = { id : int; kind : kind; payload : string }
+
+let header_len = 12
+let version = 1
+
+(** Payload ceiling (1 MiB): enough for any minic kernel source or
+    metrics exposition, small enough that a corrupt length field can
+    never balloon the daemon. *)
+let max_payload = 1 lsl 20
+
+let encode { id; kind; payload } =
+  if String.length payload > max_payload then
+    invalid_arg "Protocol.encode: payload exceeds max_payload";
+  if id < 0 || id > 0xFFFFFFFF then invalid_arg "Protocol.encode: id out of u32";
+  let len = String.length payload in
+  let b = Bytes.create (header_len + len) in
+  Bytes.set b 0 'G';
+  Bytes.set b 1 'R';
+  Bytes.set b 2 (Char.chr version);
+  Bytes.set b 3 (Char.chr (kind_code kind));
+  Bytes.set_int32_be b 4 (Int32.of_int id);
+  Bytes.set_int32_be b 8 (Int32.of_int len);
+  Bytes.blit_string payload 0 b header_len len;
+  Bytes.unsafe_to_string b
+
+(** [decode_header s] — validate the first {!header_len} bytes and
+    return [(kind, id, payload_length)].  The length check runs here,
+    before any payload is read or allocated. *)
+let decode_header s =
+  if String.length s < header_len then Error "truncated header"
+  else if not (s.[0] = 'G' && s.[1] = 'R') then Error "bad magic"
+  else if Char.code s.[2] <> version then
+    Error (Printf.sprintf "unsupported version %d" (Char.code s.[2]))
+  else
+    match kind_of_code (Char.code s.[3]) with
+    | None -> Error (Printf.sprintf "unknown frame kind 0x%02x" (Char.code s.[3]))
+    | Some kind ->
+        let u32 off =
+          Int32.to_int (String.get_int32_be s off) land 0xFFFFFFFF
+        in
+        let id = u32 4 and len = u32 8 in
+        if len > max_payload then
+          Error (Printf.sprintf "payload length %d exceeds %d" len max_payload)
+        else Ok (kind, id, len)
+
+(** [decode s] — parse exactly one frame occupying all of [s];
+    truncated or oversized input, bad magic/version/kind and trailing
+    garbage all return [Error]. *)
+let decode s =
+  match decode_header s with
+  | Error _ as e -> e
+  | Ok (kind, id, len) ->
+      if String.length s < header_len + len then Error "truncated payload"
+      else if String.length s > header_len + len then Error "trailing garbage"
+      else Ok { id; kind; payload = String.sub s header_len len }
+
+(* -- blocking fd transport ------------------------------------------------- *)
+
+let really_read fd buf off len =
+  let rec go off len =
+    if len = 0 then Ok ()
+    else
+      match Unix.read fd buf off len with
+      | 0 -> Error "connection closed mid-frame"
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+  in
+  go off len
+
+(** [read_frame fd] — block until one whole frame arrives.  [Ok None]
+    is a clean end-of-stream (the peer closed between frames). *)
+let read_frame fd =
+  let hdr = Bytes.create header_len in
+  match Unix.read fd hdr 0 header_len with
+  | 0 -> Ok None
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> Error "interrupted"
+  | n -> (
+      match
+        if n = header_len then Ok ()
+        else really_read fd hdr n (header_len - n)
+      with
+      | Error _ as e -> e
+      | Ok () -> (
+          match decode_header (Bytes.to_string hdr) with
+          | Error _ as e -> e
+          | Ok (kind, id, len) -> (
+              let payload = Bytes.create len in
+              match really_read fd payload 0 len with
+              | Error _ as e -> e
+              | Ok () ->
+                  Ok (Some { id; kind; payload = Bytes.to_string payload }))))
+
+let write_frame fd frame =
+  let s = encode frame in
+  let rec go off len =
+    if len > 0 then begin
+      match Unix.write_substring fd s off len with
+      | n -> go (off + n) (len - n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+    end
+  in
+  go 0 (String.length s)
+
+(* -- schedule request / reply payloads ------------------------------------- *)
+
+(** What to schedule: either a built-in workload by name ([kernel]) or
+    inline minic source ([source]); exactly one must be set. *)
+type request = {
+  kernel : string option;
+  source : string option;
+  fus : int;
+  method_ : string;  (** "grip" | "grip-no-gap" | "post" *)
+}
+
+let request_to_json r =
+  Json.Obj
+    [
+      ( "kernel",
+        match r.kernel with Some k -> Json.Str k | None -> Json.Null );
+      ( "source",
+        match r.source with Some s -> Json.Str s | None -> Json.Null );
+      ("fus", Json.int r.fus);
+      ("method", Json.Str r.method_);
+    ]
+
+let opt_str j key =
+  match Json.member key j with Some (Json.Str s) -> Some s | _ -> None
+
+let request_of_json j =
+  let fus =
+    match Option.bind (Json.member "fus" j) Json.to_float with
+    | Some f -> int_of_float f
+    | None -> 4
+  in
+  let method_ = Option.value (opt_str j "method") ~default:"grip" in
+  match (opt_str j "kernel", opt_str j "source") with
+  | (None, None) -> Error "request names neither a kernel nor a source"
+  | (Some _, Some _) -> Error "request names both a kernel and a source"
+  | (kernel, source) -> Ok { kernel; source; fus; method_ }
+
+let request_of_payload payload =
+  match Json.parse payload with
+  | Error msg -> Error ("request payload is not JSON: " ^ msg)
+  | Ok j -> request_of_json j
+
+(** A served schedule: the winning rung, the content digest of the
+    rendered program (byte-identical to the offline [grip schedule
+    --digest] output for the same inputs), how the cache answered, and
+    the measured speedup. *)
+type reply = {
+  rkernel : string;
+  rung : string;
+  digest : string;
+  cache : string;  (** "hit" | "miss" | "coalesced" *)
+  speedup : float;
+  wall_ms : float;  (** daemon-side service time *)
+}
+
+let reply_to_json r =
+  Json.Obj
+    [
+      ("kernel", Json.Str r.rkernel);
+      ("rung", Json.Str r.rung);
+      ("digest", Json.Str r.digest);
+      ("cache", Json.Str r.cache);
+      ("speedup", Json.Num r.speedup);
+      ("wall_ms", Json.Num r.wall_ms);
+    ]
+
+let reply_of_payload payload =
+  match Json.parse payload with
+  | Error msg -> Error ("reply payload is not JSON: " ^ msg)
+  | Ok j -> (
+      match
+        ( opt_str j "kernel",
+          opt_str j "rung",
+          opt_str j "digest",
+          opt_str j "cache",
+          Option.bind (Json.member "speedup" j) Json.to_float,
+          Option.bind (Json.member "wall_ms" j) Json.to_float )
+      with
+      | Some rkernel, Some rung, Some digest, Some cache, Some speedup,
+        Some wall_ms ->
+          Ok { rkernel; rung; digest; cache; speedup; wall_ms }
+      | _ -> Error "reply payload missing fields")
+
+let error_payload ~stage msg =
+  Json.to_string (Json.Obj [ ("stage", Json.Str stage); ("error", Json.Str msg) ])
+
+let error_of_payload payload =
+  match Json.parse payload with
+  | Error _ -> ("serve", payload)
+  | Ok j ->
+      ( Option.value (opt_str j "stage") ~default:"serve",
+        Option.value (opt_str j "error") ~default:payload )

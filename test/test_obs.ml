@@ -215,8 +215,9 @@ let test_metrics_merge_bounds_mismatch () =
   Metrics.observe a ~bounds:[| 0; 1 |] "h" 1;
   Metrics.observe b ~bounds:[| 0; 2 |] "h" 1;
   match Metrics.merge ~into:a b with
-  | () -> Alcotest.fail "expected Invalid_argument"
-  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "expected Merge_mismatch"
+  | exception Metrics.Merge_mismatch { name; _ } ->
+      Alcotest.(check string) "offending histogram named" "h" name
 
 (* Gauge semantics: [gauge_set] is last-write-wins within a registry,
    [gauge_max] a high-water mark, merge keeps the max across
