@@ -1062,13 +1062,15 @@ let port_arg =
 let addr_of socket port =
   match port with Some p -> Serve.Tcp p | None -> Serve.Unix_sock socket
 
-let serve_run socket port jobs queue deadline_ms retries cache gap_ms
-    trace_file =
+let serve_run socket port jobs queue deadline_ms retries cache analysis_mb
+    gap_ms trace_file =
   let jobs = validate_jobs jobs in
   let deadline = validate_deadline_ms deadline_ms in
   let retries = validate_retries retries in
   let queue = validate_queue queue in
   if cache < 1 then invalid "--cache must be at least 1 (got %d)" cache;
+  if analysis_mb < 0 then
+    invalid "--analysis-cache-mb must be non-negative (got %d)" analysis_mb;
   if Float.is_nan gap_ms || gap_ms < 0.0 then
     invalid "--gap-ms must be non-negative (got %g)" gap_ms;
   let config =
@@ -1079,6 +1081,7 @@ let serve_run socket port jobs queue deadline_ms retries cache gap_ms
       deadline;
       retries;
       cache_capacity = cache;
+      analysis_cache_mb = analysis_mb;
       gap_threshold = (if gap_ms = 0.0 then None else Some (gap_ms /. 1e3));
       trace_file;
     }
@@ -1098,6 +1101,14 @@ let serve_cmd =
     let doc = "Capacity of the content-addressed schedule cache (LRU)." in
     Arg.(value & opt int 256 & info [ "cache" ] ~docv:"N" ~doc)
   in
+  let analysis_cache_mb_arg =
+    let doc =
+      "Byte budget (MB) of the tier-2 analysis store: cross-request reuse \
+       of parsed/lowered programs, ranked DDG closures, dominator arenas \
+       and legality-memo snapshots across FU counts. 0 disables tier 2."
+    in
+    Arg.(value & opt int 64 & info [ "analysis-cache-mb" ] ~docv:"MB" ~doc)
+  in
   let gap_ms_arg =
     let doc =
       "Starvation-gap watchdog threshold in milliseconds (0 disables it); \
@@ -1109,13 +1120,14 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the scheduling daemon: framed requests on a loopback socket, \
-          dispatched through the supervised pool with a content-addressed \
-          schedule cache, HDR latency histograms and an OpenMetrics \
+          dispatched through the supervised pool with a tiered \
+          content-addressed cache (finished schedules plus a cross-FU \
+          analysis store), HDR latency histograms and an OpenMetrics \
           exposition")
     Term.(
       const serve_run $ socket_arg $ port_arg $ jobs_arg $ queue_arg
-      $ deadline_ms_arg $ retries_arg ~default:1 $ cache_arg $ gap_ms_arg
-      $ trace_arg)
+      $ deadline_ms_arg $ retries_arg ~default:1 $ cache_arg
+      $ analysis_cache_mb_arg $ gap_ms_arg $ trace_arg)
 
 (* A loadgen kernel argument is a built-in name (sent by name) or a
    minic file (sent as inline source). *)
@@ -1129,8 +1141,23 @@ let loadgen_template fus method_ name =
   else
     { Grip_serve.Protocol.kernel = Some name; source = None; fus; method_ }
 
+let parse_key_dist s =
+  match String.lowercase_ascii s with
+  | "uniform" -> `Uniform
+  | other -> (
+      match String.index_opt other ':' with
+      | Some i when String.sub other 0 i = "zipf" -> (
+          let rest = String.sub other (i + 1) (String.length other - i - 1) in
+          match float_of_string_opt rest with
+          | Some s when (not (Float.is_nan s)) && s > 0.0 -> `Zipf s
+          | Some _ | None ->
+              invalid "--key-dist zipf exponent must be positive (got %s)" rest)
+      | _ ->
+          invalid
+            "--key-dist must be 'uniform' or 'zipf:S' with S > 0 (got %s)" s)
+
 let loadgen_run socket port kernels fus method_ requests rate period duty
-    shutdown =
+    key_dist shutdown =
   if requests < 1 then invalid "--requests must be at least 1 (got %d)" requests;
   if Float.is_nan rate || rate <= 0.0 then
     invalid "--rate must be positive (got %g)" rate;
@@ -1146,6 +1173,7 @@ let loadgen_run socket port kernels fus method_ requests rate period duty
     | Pipeline.Post -> "post"
     | Pipeline.Unifiable -> invalid "loadgen: method unifiable is not served"
   in
+  let key_dist = parse_key_dist key_dist in
   let templates = List.map (loadgen_template fus method_name) kernels in
   let addr = addr_of socket port in
   match Serve_client.connect addr with
@@ -1155,7 +1183,8 @@ let loadgen_run socket port kernels fus method_ requests rate period duty
       let finish () = Serve_client.close client in
       Fun.protect ~finally:finish (fun () ->
           match
-            Serve_loadgen.run client ~requests ~rate ~period ~duty templates
+            Serve_loadgen.run ~key_dist client ~requests ~rate ~period ~duty
+              templates
           with
           | Error msg ->
               die
@@ -1215,6 +1244,15 @@ let loadgen_cmd =
     in
     Arg.(value & opt float 0.5 & info [ "duty" ] ~docv:"D" ~doc)
   in
+  let key_dist_arg =
+    let doc =
+      "Template popularity: 'uniform' cycles round-robin; 'zipf:S' draws \
+       template ranks from a Zipf law with exponent S (deterministic, \
+       fixed-seed), so the burst exercises realistic tier-1/tier-2/cold \
+       ratios."
+    in
+    Arg.(value & opt string "uniform" & info [ "key-dist" ] ~docv:"DIST" ~doc)
+  in
   let shutdown_arg =
     let doc = "Send a shutdown frame to the daemon after the run." in
     Arg.(value & flag & info [ "shutdown" ] ~doc)
@@ -1225,11 +1263,11 @@ let loadgen_cmd =
          "Open-loop (coordinated-omission-free) bursty load generator for \
           the scheduling daemon: fixed arrival schedule, pipelined \
           requests, latency measured from scheduled arrival; reports HDR \
-          percentiles, throughput and cache hit-rate")
+          percentiles, throughput and per-tier cache hit-rates")
     Term.(
       const loadgen_run $ socket_arg $ port_arg $ kernels_arg $ fus_arg
       $ method_arg $ requests_arg $ rate_arg $ period_arg $ duty_arg
-      $ shutdown_arg)
+      $ key_dist_arg $ shutdown_arg)
 
 let metrics_dump_run socket port =
   match Serve_client.connect ~attempts:1 (addr_of socket port) with

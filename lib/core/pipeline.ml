@@ -58,6 +58,12 @@ type outcome = {
           {!Scheduler.stats.fuel_exhausted}) *)
 }
 
+(** [default_horizon machine] — the unwinding depth used when the
+    caller does not pin one: wide machines see enough iterations to
+    converge.  Exposed so drivers (the serving daemon's analysis store)
+    can predict which horizon a request will schedule at. *)
+let default_horizon machine = max 18 ((2 * Machine.width machine) + 6)
+
 (** [ddg_of k] — dependence graph of the body plus its loop-control
     conditional, with exact induction-based memory distances. *)
 let ddg_of (k : Kernel.t) =
@@ -116,9 +122,7 @@ let run ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
     ?(budget = Budget.unlimited) (k : Kernel.t) ~machine ~method_ =
   let rank = match rank with Some r -> r | None -> default_rank k in
   let horizon =
-    match horizon with
-    | Some h -> h
-    | None -> max 18 ((2 * Machine.width machine) + 6)
+    match horizon with Some h -> h | None -> default_horizon machine
   in
   let u, t_unwind = Obs.timed obs Trace.Unwind (fun () -> Unwind.build k ~horizon) in
   let p = u.Unwind.program in
@@ -277,6 +281,55 @@ type robust = {
 
 let ( let* ) = Result.bind
 
+(* -- cross-request warm-path seeding -------------------------------------- *)
+
+(** Everything a completed run learned about a kernel that a later run
+    over the {e same lowered kernel} can reuse: the ranked heuristic
+    (which embeds the DDG heights), the post-redundancy unwound graph
+    as a program instance plus its pristine snapshot, the dominator
+    arena, and the delta-0 legality/[would_move] memo snapshot.
+
+    A warm run restores the snapshot into [w_program] instead of
+    unwinding and cleaning from scratch — {!Program.restore} also
+    restores the node/register/op id supplies, so the scheduler replays
+    byte-identically — and skips the unwind/redundancy guards those
+    phases already passed when the snapshot was taken.  The final
+    oracle check is {e never} skipped. *)
+type warm = {
+  w_rank : Rank.t;
+  w_horizon : int;  (** horizon the snapshot was unwound at; a request
+                        at any other horizon must go cold *)
+  w_program : Program.t;  (** instance to restore into (exclusively
+                              owned while the run is in flight) *)
+  w_snapshot : Program.snapshot;
+  w_dom : Vliw_analysis.Dom.t option;
+  w_memo : Ctx.memo_snapshot option;
+}
+
+(** Mutable capture slots a driver hands to {!run_robust} to harvest a
+    {!warm} seed from a successful run; filled only when a pipelining
+    rung wins (memo/dominators only when a GRiP rung wins — POST
+    schedules through two contexts).  On a warm run only [c_memo] and
+    [c_dom] are filled: the caller already owns the graph. *)
+type captured = {
+  mutable c_rank : Rank.t option;
+  mutable c_horizon : int;
+  mutable c_program : Program.t option;
+  mutable c_snapshot : Program.snapshot option;
+  mutable c_dom : Vliw_analysis.Dom.t option;
+  mutable c_memo : Ctx.memo_snapshot option;
+}
+
+let fresh_capture () =
+  {
+    c_rank = None;
+    c_horizon = 0;
+    c_program = None;
+    c_snapshot = None;
+    c_dom = None;
+    c_memo = None;
+  }
+
 (* Unconditional semantic check against the rolled reference: a rung
    may only win if the oracle agrees, whatever the strictness. *)
 let oracle_final ~kernel ~mstr ~data ~n k p =
@@ -299,54 +352,100 @@ let oracle_final ~kernel ~mstr ~data ~n k p =
    cancellation token: the scheduler loop heads poll it, so a blown
    deadline (or an external cancel) surfaces here as [Error] — a
    ladder descent — instead of wedging the domain. *)
-let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
-    ~max_migrations ~deadline ~budget ~data (k : Kernel.t) ~machine ~method_ =
+let attempt_pipelining ?warm ?capture ~obs ~rank ~horizon ~redundancy
+    ~speculation ~strictness ~max_migrations ~deadline ~budget ~data
+    (k : Kernel.t) ~machine ~method_ =
   let kernel = k.Kernel.name in
   let mstr = Format.asprintf "%a" Machine.pp machine in
-  let* (u, t_unwind) =
-    Grip_error.guard (fun () ->
-        Obs.timed obs Trace.Unwind (fun () -> Unwind.build k ~horizon))
-  in
-  let p = u.Unwind.program in
   let exit_live = Kernel.exit_live k in
-  let rolled = (Kernel.rolled k).Builder.program in
-  let spot_n = min 4 (horizon - 2) in
-  let* () =
-    Guard.all_named ~obs strictness
-      [
-        ( "unwind.structural",
-          fun () -> Guard.structural ~kernel ~machine:mstr Grip_error.Unwind p );
-      ]
+  (* a seed unwound at a different horizon describes a different
+     scheduling problem: go cold *)
+  let warm =
+    match warm with Some w when w.w_horizon = horizon -> Some w | _ -> None
   in
-  let redundant_removed, t_redundancy =
-    Obs.timed obs Trace.Redundancy (fun () ->
-        if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0))
+  let* p, t_unwind, redundant_removed, t_redundancy =
+    match warm with
+    | Some w ->
+        (* restore the pristine post-redundancy graph (id supplies
+           included, so the replay is byte-identical) instead of
+           unwinding and cleaning from scratch; the snapshot was taken
+           from a run that already passed the unwind/redundancy guards
+           on exactly this graph, so only their phases are skipped —
+           validation and the final oracle still run below *)
+        let* p, t_restore =
+          Grip_error.guard (fun () ->
+              Obs.timed obs Trace.Unwind (fun () ->
+                  Program.restore w.w_program w.w_snapshot;
+                  w.w_program))
+        in
+        Metrics.incr obs.Obs.metrics "pipeline.warm_restores";
+        Ok (p, t_restore, (0, 0, 0), 0.0)
+    | None ->
+        let* u, t_unwind =
+          Grip_error.guard (fun () ->
+              Obs.timed obs Trace.Unwind (fun () -> Unwind.build k ~horizon))
+        in
+        let p = u.Unwind.program in
+        let rolled = (Kernel.rolled k).Builder.program in
+        let spot_n = min 4 (horizon - 2) in
+        let* () =
+          Guard.all_named ~obs strictness
+            [
+              ( "unwind.structural",
+                fun () ->
+                  Guard.structural ~kernel ~machine:mstr Grip_error.Unwind p );
+            ]
+        in
+        let redundant_removed, t_redundancy =
+          Obs.timed obs Trace.Redundancy (fun () ->
+              if redundancy then Redundant.cleanup p ~exit_live else (0, 0, 0))
+        in
+        let* () =
+          Guard.all_named ~obs strictness
+            [
+              ( "redundancy.structural",
+                fun () ->
+                  Guard.structural ~kernel ~machine:mstr Grip_error.Redundancy
+                    p );
+              ( "redundancy.oracle",
+                fun () ->
+                  Guard.oracle ~kernel ~machine:mstr Grip_error.Redundancy
+                    ~reference:rolled ~candidate:p
+                    ~init:(Kernel.initial_state ~n:spot_n k ~data)
+                    ~observable:k.Kernel.observable );
+            ]
+        in
+        Ok (p, t_unwind, redundant_removed, t_redundancy)
   in
-  let* () =
-    Guard.all_named ~obs strictness
-      [
-        ( "redundancy.structural",
-          fun () ->
-            Guard.structural ~kernel ~machine:mstr Grip_error.Redundancy p );
-        ( "redundancy.oracle",
-          fun () ->
-            Guard.oracle ~kernel ~machine:mstr Grip_error.Redundancy
-              ~reference:rolled ~candidate:p
-              ~init:(Kernel.initial_state ~n:spot_n k ~data)
-              ~observable:k.Kernel.observable );
-      ]
+  (* pristine pre-schedule snapshot for the analysis store; taken only
+     on cold runs (a warm caller already owns this graph) *)
+  let pristine =
+    match (capture, warm) with
+    | Some _, None -> Some (Program.snapshot p)
+    | _ -> None
   in
   let fuel =
     Option.value max_migrations
       ~default:(Scheduler.default_config ~rank).Scheduler.max_migrations
   in
   let idx_reuses0, idx_builds0 = Node.index_counters () in
+  (* the winning GRiP context, kept for memo/dominator harvest *)
+  let ctx_ref = ref None in
   let* stats, wall_seconds =
     Budget.guard budget (fun () ->
         Obs.timed obs Trace.Schedule (fun () ->
             match method_ with
             | Grip | Grip_no_gap ->
                 let ctx = Ctx.make ~obs p ~machine ~exit_live in
+                (match warm with
+                | Some w ->
+                    Option.iter (Ctx.seed_dominators ctx) w.w_dom;
+                    Option.iter
+                      (fun snap -> ignore (Ctx.seed_memo ctx snap))
+                      w.w_memo
+                | None -> ());
+                if capture <> None then Ctx.arm_capture ctx;
+                ctx_ref := Some ctx;
                 let base = Scheduler.default_config ~rank in
                 let config =
                   {
@@ -359,6 +458,8 @@ let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
                 in
                 Grip_stats (Scheduler.run config ctx)
             | Post ->
+                (* two contexts (unconstrained + real) — memo capture
+                   and seeding do not apply; the graph/rank seed does *)
                 let ctx_unlimited =
                   Ctx.make ~obs p ~machine:Machine.unlimited ~exit_live
                 in
@@ -420,6 +521,23 @@ let attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation ~strictness
              (Grip_error.Non_convergent { horizon }))
   in
   let* () = oracle_final ~kernel ~mstr ~data ~n:(horizon - 2) k p in
+  (* the rung won — publish the seedable artifacts (partial fills are
+     never published: a failed rung leaves the capture untouched) *)
+  (match capture with
+  | Some c ->
+      c.c_rank <- Some rank;
+      c.c_horizon <- horizon;
+      (match pristine with
+      | Some s ->
+          c.c_program <- Some p;
+          c.c_snapshot <- Some s
+      | None -> ());
+      (match !ctx_ref with
+      | Some ctx ->
+          c.c_memo <- Ctx.capture ctx;
+          c.c_dom <- Option.map snd ctx.Ctx.dom_cache
+      | None -> ())
+  | None -> ());
   observe_occupancy obs machine p rows;
   Ok
     {
@@ -491,12 +609,17 @@ let run_robust ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
     ?(speculation = Scheduler.Always) ?(strictness = Guard.Strict)
     ?(fallback = true) ?max_migrations ?deadline
     ?(budget = Budget.unlimited) ?(data = Kernel.default_data)
-    ?(start = R_grip) (k : Kernel.t) ~machine =
-  let rank = match rank with Some r -> r | None -> default_rank k in
+    ?(start = R_grip) ?warm ?capture (k : Kernel.t) ~machine =
+  let rank =
+    match rank with
+    | Some r -> r
+    | None -> (
+        (* the seed's rank closure embeds the DDG heights of the same
+           lowered kernel — reusing it skips the analysis pass *)
+        match warm with Some w -> w.w_rank | None -> default_rank k)
+  in
   let horizon =
-    match horizon with
-    | Some h -> h
-    | None -> max 18 ((2 * Machine.width machine) + 6)
+    match horizon with Some h -> h | None -> default_horizon machine
   in
   let t0 = Unix.gettimeofday () in
   let rec from = function
@@ -530,9 +653,9 @@ let run_robust ?(obs = Obs.null) ?rank ?horizon ?(redundancy = true)
         let rung_budget = Budget.sub budget ?deadline () in
         Result.map
           (fun (o : outcome) -> (o.program, Some o, o.pattern))
-          (attempt_pipelining ~obs ~rank ~horizon ~redundancy ~speculation
-             ~strictness ~max_migrations ~deadline ~budget:rung_budget ~data k
-             ~machine ~method_)
+          (attempt_pipelining ?warm ?capture ~obs ~rank ~horizon ~redundancy
+             ~speculation ~strictness ~max_migrations ~deadline
+             ~budget:rung_budget ~data k ~machine ~method_)
     | R_list -> (
         match
           Budget.guard budget (fun () ->

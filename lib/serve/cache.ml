@@ -19,26 +19,41 @@ type entry = {
   speedup : float;
   mutable last_use : int;  (** LRU clock reading *)
   inserted_at : float;  (** wall clock, for the age gauge *)
+  entry_bytes : int;
+      (** resident heap bytes of this line {e including} its key and
+          metadata (measured with [Obj.reachable_words] at insert —
+          the record is immutable apart from the LRU clock, so the
+          figure stays exact) *)
 }
 
 type t = {
   capacity : int;
   tbl : (string, entry) Hashtbl.t;
   mutable clock : int;
+  mutable resident_bytes : int;
+      (** sum of [entry_bytes] over the table — the [cache.bytes]
+          gauge.  Counting entries alone understates pressure: the key
+          strings and per-entry metadata dominate for small digests *)
 }
 
 let create ~capacity =
   if capacity < 1 then invalid_arg "Cache.create: capacity must be positive";
-  { capacity; tbl = Hashtbl.create (2 * capacity); clock = 0 }
+  { capacity; tbl = Hashtbl.create (2 * capacity); clock = 0; resident_bytes = 0 }
 
 let size t = Hashtbl.length t.tbl
+let bytes t = t.resident_bytes
 
-(** [key ~fus ~method_ kernel] — the content address: a digest over
-    the kernel's lowered form and the machine/technique pair.  The
-    kernel's [name] and [description] are deliberately excluded. *)
-let key ~fus ~method_ (k : Grip.Kernel.t) =
-  let buf = Buffer.create 512 in
-  let ppf = Format.formatter_of_buffer buf in
+let word_bytes = Sys.word_size / 8
+
+(** [measure_bytes v] — resident heap bytes reachable from [v]
+    (shared substructure is counted once per call, so measuring the
+    [(key, entry)] pair charges the line its key and metadata too). *)
+let measure_bytes v = (1 + Obj.reachable_words (Obj.repr v)) * word_bytes
+
+(* The content address of the lowered kernel alone: everything that
+   determines the scheduling problem except the machine and technique.
+   The kernel's [name] and [description] are deliberately excluded. *)
+let kernel_content ppf (k : Grip.Kernel.t) =
   let ops which l =
     Format.fprintf ppf "%s:" which;
     List.iter (fun op -> Format.fprintf ppf "%a;" Vliw_ir.Operation.pp_kind op) l
@@ -57,7 +72,26 @@ let key ~fus ~method_ (k : Grip.Kernel.t) =
   List.iter
     (fun (r, v) ->
       Format.fprintf ppf "param=%a=%a;" Vliw_ir.Reg.pp r Vliw_ir.Value.pp v)
-    k.Grip.Kernel.params;
+    k.Grip.Kernel.params
+
+(** [kernel_key kernel] — digest of the lowered kernel content alone
+    (no FU count, no technique): the tier-2 analysis-store address,
+    shared by every request that lowers to the same scheduling problem
+    whatever machine it targets. *)
+let kernel_key (k : Grip.Kernel.t) =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  kernel_content ppf k;
+  Format.pp_print_flush ppf ();
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+(** [key ~fus ~method_ kernel] — the content address: a digest over
+    the kernel's lowered form and the machine/technique pair.  The
+    kernel's [name] and [description] are deliberately excluded. *)
+let key ~fus ~method_ (k : Grip.Kernel.t) =
+  let buf = Buffer.create 512 in
+  let ppf = Format.formatter_of_buffer buf in
+  kernel_content ppf k;
   Format.fprintf ppf "fus=%d;method=%s" fus method_;
   Format.pp_print_flush ppf ();
   Digest.to_hex (Digest.string (Buffer.contents buf))
@@ -85,10 +119,23 @@ let find t key =
 let add t key ~rung ~digest ~speedup ~now =
   t.clock <- t.clock + 1;
   (match Hashtbl.find_opt t.tbl key with
-  | Some _ -> Hashtbl.remove t.tbl key
+  | Some old ->
+      t.resident_bytes <- t.resident_bytes - old.entry_bytes;
+      Hashtbl.remove t.tbl key
   | None -> ());
-  Hashtbl.replace t.tbl key
-    { rung; digest; speedup; last_use = t.clock; inserted_at = now };
+  let e =
+    {
+      rung;
+      digest;
+      speedup;
+      last_use = t.clock;
+      inserted_at = now;
+      entry_bytes = 0;
+    }
+  in
+  let e = { e with entry_bytes = measure_bytes (key, e) } in
+  t.resident_bytes <- t.resident_bytes + e.entry_bytes;
+  Hashtbl.replace t.tbl key e;
   if Hashtbl.length t.tbl <= t.capacity then 0
   else begin
     let victim =
@@ -100,7 +147,8 @@ let add t key ~rung ~digest ~speedup ~now =
         t.tbl None
     in
     match victim with
-    | Some (k, _) ->
+    | Some (k, v) ->
+        t.resident_bytes <- t.resident_bytes - v.entry_bytes;
         Hashtbl.remove t.tbl k;
         1
     | None -> 0

@@ -35,12 +35,22 @@ let arrivals ~rate ~period ~duty n =
       (float_of_int cycle *. period)
       +. (float_of_int j *. (period *. duty /. float_of_int per_cycle)))
 
+(** Which template each request draws: [`Uniform] cycles round-robin
+    (every key equally hot — the original behaviour); [`Zipf s] draws
+    template ranks from a Zipf law with exponent [s], the classic
+    skewed-popularity shape of real request streams, so a burst
+    exercises realistic tier-1 / tier-2 / cold ratios instead of
+    warming every key equally.  The Zipf draw uses a fixed-seed PRNG:
+    two runs with the same arguments offer the same key sequence. *)
+type key_dist = [ `Uniform | `Zipf of float ]
+
 type report = {
   sent : int;
   received : int;
   errors : int;  (** Error_resp frames (protocol errors are fatal) *)
-  hits : int;
-  misses : int;
+  hits : int;  (** tier-1: finished schedule served from cache *)
+  warm : int;  (** tier-2: scheduled, but seeded from the analysis store *)
+  misses : int;  (** cold: full pipeline *)
   coalesced : int;
   hist : Hdr.t;  (** request latency, microseconds, open-loop *)
   wall : float;
@@ -51,19 +61,48 @@ let hit_rate r =
   if r.received = 0 then 0.0
   else float_of_int (r.hits + r.coalesced) /. float_of_int r.received
 
+(** Fraction of {e scheduled} requests (tier-1 misses) that were
+    seeded from the tier-2 analysis store. *)
+let warm_rate r =
+  let scheduled = r.warm + r.misses in
+  if scheduled = 0 then 0.0
+  else float_of_int r.warm /. float_of_int scheduled
+
 let throughput r = if r.wall > 0.0 then float_of_int r.received /. r.wall else 0.0
 
 (** [run client ~requests ~rate ~period ~duty reqs] — offer [requests]
-    requests (cycling over the [reqs] templates) on the open-loop
-    schedule; returns the latency/cache report or a protocol error. *)
-let run (client : Client.t) ~requests ~rate ~period ~duty reqs =
+    requests (drawn from the [reqs] templates per [key_dist]) on the
+    open-loop schedule; returns the latency/cache report or a protocol
+    error. *)
+let run ?(key_dist = `Uniform) (client : Client.t) ~requests ~rate ~period
+    ~duty reqs =
   if reqs = [] then invalid_arg "Loadgen.run: no request templates";
   let templates = Array.of_list reqs in
+  let pick =
+    match key_dist with
+    | `Uniform -> fun i -> i mod Array.length templates
+    | `Zipf s ->
+        if Float.is_nan s || s <= 0.0 then
+          invalid_arg "Loadgen.run: zipf exponent must be positive";
+        let n = Array.length templates in
+        (* cumulative weights 1/r^s over template ranks *)
+        let cdf = Array.make n 0.0 in
+        let total = ref 0.0 in
+        for r = 0 to n - 1 do
+          total := !total +. (1.0 /. Float.pow (float_of_int (r + 1)) s);
+          cdf.(r) <- !total
+        done;
+        let rng = Random.State.make [| 0x5eed; requests |] in
+        fun _i ->
+          let u = Random.State.float rng !total in
+          let rec find r = if r >= n - 1 || cdf.(r) >= u then r else find (r + 1) in
+          find 0
+  in
   let sched = arrivals ~rate ~period ~duty requests in
   let hist = Hdr.create () in
   let census = Hashtbl.create 8 in
   let id_slot = Hashtbl.create 1024 in  (* frame id -> schedule index *)
-  let hits = ref 0 and misses = ref 0 and coalesced = ref 0 in
+  let hits = ref 0 and warm = ref 0 and misses = ref 0 and coalesced = ref 0 in
   let errors = ref 0 and received = ref 0 and sent = ref 0 in
   let failure = ref None in
   let t0 = Unix.gettimeofday () in
@@ -85,6 +124,7 @@ let run (client : Client.t) ~requests ~rate ~period ~duty reqs =
             | Ok reply ->
                 (match reply.Protocol.cache with
                 | "hit" -> incr hits
+                | "warm" -> incr warm
                 | "coalesced" -> incr coalesced
                 | _ -> incr misses);
                 Hashtbl.replace census reply.Protocol.rung
@@ -115,7 +155,7 @@ let run (client : Client.t) ~requests ~rate ~period ~duty reqs =
     let due = t0 +. sched.(!next) in
     let now = Unix.gettimeofday () in
     if now >= due then begin
-      let req = templates.(!next mod Array.length templates) in
+      let req = templates.(pick !next) in
       let id = Client.send_schedule client req in
       Hashtbl.replace id_slot id !next;
       incr sent;
@@ -151,6 +191,7 @@ let run (client : Client.t) ~requests ~rate ~period ~duty reqs =
           received = !received;
           errors = !errors;
           hits = !hits;
+          warm = !warm;
           misses = !misses;
           coalesced = !coalesced;
           hist;
@@ -165,9 +206,11 @@ let pp_report ppf r =
     "loadgen: sent %d received %d error(s) %d in %.2fs (%.0f req/s)@." r.sent
     r.received r.errors r.wall (throughput r);
   Format.fprintf ppf
-    "  cache: %d hit / %d miss / %d coalesced (hit-rate %.1f%%)@." r.hits
-    r.misses r.coalesced
-    (100.0 *. hit_rate r);
+    "  cache: %d hit / %d warm / %d cold / %d coalesced (t1 hit-rate %.1f%%, \
+     t2 warm-rate %.1f%%)@."
+    r.hits r.warm r.misses r.coalesced
+    (100.0 *. hit_rate r)
+    (100.0 *. warm_rate r);
   Format.fprintf ppf "  latency (open-loop, us): %a@." Hdr.pp r.hist;
   List.iter
     (fun (rung, n) -> Format.fprintf ppf "  rung %-12s x%d@." rung n)

@@ -50,6 +50,9 @@ type config = {
   deadline : float option;  (** per-attempt budget, seconds *)
   retries : int;
   cache_capacity : int;
+  analysis_cache_mb : int;
+      (** byte budget of the tier-2 analysis store ({!Store}); [0]
+          disables tier 2 entirely (every tier-1 miss goes cold) *)
   gap_threshold : float option;  (** starvation watchdog, seconds *)
   trace_file : string option;
       (** write the merged request trace here at shutdown; a
@@ -65,6 +68,7 @@ let default_config ~addr =
     deadline = None;
     retries = 1;
     cache_capacity = 256;
+    analysis_cache_mb = 64;
     gap_threshold = None;
     trace_file = None;
   }
@@ -84,34 +88,54 @@ let rung_of_method_name = function
 let protocol_error msg =
   Grip_error.make Grip_error.Serve (Grip_error.Protocol_violation msg)
 
-let resolve (r : Protocol.request) =
+(** A memoizable frontend result: the lowered kernel and its data
+    function (or the error the lowering produced — also memoized, so a
+    hot malformed source does not re-parse either). *)
+type resolved =
+  (Grip.Kernel.t * (string -> int -> Vliw_ir.Value.t), Grip_error.t) result
+
+let resolve_kernel (r : Protocol.request) : resolved =
+  match (r.Protocol.kernel, r.Protocol.source) with
+  | Some name, None -> (
+      match Workloads.Livermore.find name with
+      | Some e -> Ok (e.Workloads.Livermore.kernel, e.Workloads.Livermore.data)
+      | None -> (
+          match name with
+          | "abc" -> Ok (Workloads.Paper_examples.abc, Grip.Kernel.default_data)
+          | "abcdefg" ->
+              Ok (Workloads.Paper_examples.abcdefg, Grip.Kernel.default_data)
+          | _ -> Error (protocol_error (Printf.sprintf "unknown kernel %S" name))))
+  | None, Some src -> (
+      match Minic.Compile.kernel_of_string src with
+      | Ok out -> Ok (out.Minic.Compile.kernel, out.Minic.Compile.data)
+      | Error e -> Error e)
+  | _ ->
+      (* unreachable: Protocol.request_of_json enforces exactly one *)
+      Error (protocol_error "malformed request")
+
+let resolve ?memo ?registry (r : Protocol.request) =
   let ( let* ) = Result.bind in
   let* start = Result.map_error protocol_error (rung_of_method_name r.Protocol.method_) in
   if r.Protocol.fus < 1 || r.Protocol.fus > 64 then
     Error (protocol_error (Printf.sprintf "fus %d out of [1, 64]" r.Protocol.fus))
   else
     let* kern, data =
-      match (r.Protocol.kernel, r.Protocol.source) with
-      | Some name, None -> (
-          match Workloads.Livermore.find name with
-          | Some e ->
-              Ok (e.Workloads.Livermore.kernel, e.Workloads.Livermore.data)
-          | None -> (
-              match name with
-              | "abc" -> Ok (Workloads.Paper_examples.abc, Grip.Kernel.default_data)
-              | "abcdefg" ->
-                  Ok (Workloads.Paper_examples.abcdefg, Grip.Kernel.default_data)
-              | _ ->
-                  Error
-                    (protocol_error
-                       (Printf.sprintf "unknown kernel %S" name))))
-      | None, Some src -> (
-          match Minic.Compile.kernel_of_string src with
-          | Ok out -> Ok (out.Minic.Compile.kernel, out.Minic.Compile.data)
-          | Error e -> Error e)
-      | _ ->
-          (* unreachable: Protocol.request_of_json enforces exactly one *)
-          Error (protocol_error "malformed request")
+      match memo with
+      | None -> resolve_kernel r
+      | Some tbl -> (
+          let mk = (r.Protocol.kernel, r.Protocol.source) in
+          match Hashtbl.find_opt tbl mk with
+          | Some res ->
+              Option.iter
+                (fun reg -> Metrics.incr reg "serve.resolve.memo_hits")
+                registry;
+              res
+          | None ->
+              let res = resolve_kernel r in
+              (* bounded: a hostile client cycling unique sources must
+                 not grow the memo without limit *)
+              if Hashtbl.length tbl < 4096 then Hashtbl.replace tbl mk res;
+              res)
     in
     Ok (kern, data, start)
 
@@ -167,9 +191,18 @@ type state = {
   config : config;
   registry : Metrics.t;
   hdr : Hdr.t;  (** service-time surface, microseconds *)
+  hdr_cold : Hdr.t;
+      (** latency of misses scheduled from scratch (no tier-2 seed) *)
+  hdr_warm : Hdr.t;
+      (** latency of warm misses — tier-1 miss, tier-2 seeded — the
+          before/after surface of the analysis store *)
   ring : Trace.ring;
   tracer : Trace.t;
   cache : Cache.t;
+  store : Store.t option;  (** tier-2 analysis store; [None] = disabled *)
+  resolve_memo : (string option * string option, resolved) Hashtbl.t;
+      (** frontend memo: request (kernel, source) -> lowered kernel;
+          a tier-2 hit must not re-parse inline minic source *)
   rt : Obs.Runtime.t option;  (** GC-span consumer for gap_cause *)
   mutable worker_events : (int * (float * Trace.event) list) list;
       (** per-request worker rings collected for the shutdown trace *)
@@ -195,7 +228,7 @@ let error_frame id (e : Grip_error.t) =
         (Grip_error.to_string e);
   }
 
-let finish_request st conn ~id ~recv_at frame_or_err =
+let finish_request ?hdr2 st conn ~id ~recv_at frame_or_err =
   let frame =
     match frame_or_err with
     | Ok reply -> reply_frame id reply
@@ -206,8 +239,28 @@ let finish_request st conn ~id ~recv_at frame_or_err =
   Trace.emit st.tracer (Trace.Request_stage { id; stage = "respond" });
   ignore (send conn frame);
   st.served <- st.served + 1;
-  Hdr.record st.hdr
-    (int_of_float ((Unix.gettimeofday () -. recv_at) *. 1e6))
+  let lat_us = int_of_float ((Unix.gettimeofday () -. recv_at) *. 1e6) in
+  Hdr.record st.hdr lat_us;
+  (* the cold / warm-miss split of the miss path *)
+  Option.iter (fun h -> Hdr.record h lat_us) hdr2
+
+(* A tier-1 miss scheduled through the pool, with whatever tier 2
+   contributed: a full warm seed (exclusive slot checkout), just the
+   analysis (rank), or nothing; plus the capture slots a successful
+   run fills for admission. *)
+type task = {
+  t_key : string;  (** tier-1 key (kernel + fus + method) *)
+  t_kkey : string;  (** tier-2 key (kernel content alone) *)
+  t_horizon : int;
+  t_kern : Grip.Kernel.t;
+  t_data : string -> int -> Vliw_ir.Value.t;
+  t_start : Pipeline.rung;
+  t_fus : int;
+  t_rank : Grip.Rank.t option;  (** analysis-hit rank, cold graph *)
+  t_warm : Pipeline.warm option;
+  t_capture : Pipeline.captured option;
+  t_out : bool;  (** warm slot checked out — must be checked in *)
+}
 
 (* One select round's schedule requests, as one supervised admission
    wave: answer cache hits inline, coalesce duplicate problems, run
@@ -228,7 +281,7 @@ let process_wave st pool reqs =
           Metrics.incr st.registry "serve.errors.protocol";
           finish_request st conn ~id ~recv_at (Error (protocol_error msg))
       | Ok req -> (
-          match resolve req with
+          match resolve ~memo:st.resolve_memo ~registry:st.registry req with
           | Error e -> finish_request st conn ~id ~recv_at (Error e)
           | Ok (kern, data, start) -> (
               let key =
@@ -257,9 +310,54 @@ let process_wave st pool reqs =
                       waiters := (conn, id, recv_at) :: !waiters
                   | None ->
                       Metrics.incr st.registry "serve.cache.misses";
+                      let fus = req.Protocol.fus in
+                      let kkey = Cache.kernel_key kern in
+                      let horizon =
+                        Pipeline.default_horizon
+                          (Vliw_machine.Machine.homogeneous fus)
+                      in
+                      let rank, warm, out, capture =
+                        match st.store with
+                        | None -> (None, None, false, None)
+                        | Some store -> (
+                            let capture = Some (Pipeline.fresh_capture ()) in
+                            match
+                              Store.checkout store kkey ~horizon ~width:fus
+                            with
+                            | Some (Store.Warm w) ->
+                                Metrics.incr st.registry "serve.cache.t2.hits";
+                                Trace.emit st.tracer
+                                  (Trace.Request_stage
+                                     { id; stage = "t2_warm" });
+                                (None, Some w, true, capture)
+                            | Some (Store.Analysis rank) ->
+                                (* kernel known, graph not reusable at
+                                   this horizon (or slot in flight):
+                                   reuse the analysis, unwind cold *)
+                                Metrics.incr st.registry
+                                  "serve.cache.t2.analysis_hits";
+                                (Some rank, None, false, capture)
+                            | None ->
+                                Metrics.incr st.registry
+                                  "serve.cache.t2.misses";
+                                (None, None, false, capture))
+                      in
                       Hashtbl.replace tasks key (ref [ (conn, id, recv_at) ]);
                       order :=
-                        (key, kern, data, start, req.Protocol.fus) :: !order))))
+                        {
+                          t_key = key;
+                          t_kkey = kkey;
+                          t_horizon = horizon;
+                          t_kern = kern;
+                          t_data = data;
+                          t_start = start;
+                          t_fus = fus;
+                          t_rank = rank;
+                          t_warm = warm;
+                          t_capture = capture;
+                          t_out = out;
+                        }
+                        :: !order))))
     reqs;
   let items = List.rev !order in
   if items <> [] then begin
@@ -273,10 +371,10 @@ let process_wave st pool reqs =
         gap_threshold = st.config.gap_threshold;
       }
     in
-    let degrade ~level (key, kern, data, start, fus) =
-      let start' = descend_rung start level in
-      if start' = start then None
-      else Some ((key, kern, data, start', fus), Pipeline.rung_name start')
+    let degrade ~level t =
+      let start' = descend_rung t.t_start level in
+      if start' = t.t_start then None
+      else Some ({ t with t_start = start' }, Pipeline.rung_name start')
     in
     let gap_cause ~t0 ~t1 =
       match st.rt with
@@ -288,11 +386,11 @@ let process_wave st pool reqs =
           else "stall"
     in
     let want_trace = st.config.trace_file <> None in
-    let f ~worker ~budget (key, kern, data, start, fus) =
-      let machine = Vliw_machine.Machine.homogeneous fus in
+    let f ~worker ~budget t =
+      let machine = Vliw_machine.Machine.homogeneous t.t_fus in
       (* the wave's requests waiting on this problem, for the span tag *)
       let rid =
-        match Hashtbl.find_opt tasks key with
+        match Hashtbl.find_opt tasks t.t_key with
         | Some ws -> (
             match List.rev !ws with (_, id, _) :: _ -> id | [] -> 0)
         | None -> 0
@@ -308,20 +406,28 @@ let process_wave st pool reqs =
       Trace.emit tracer (Trace.Span_begin span);
       Trace.emit tracer (Trace.Request_stage { id = rid; stage = "schedule" });
       let result =
-        Pipeline.run_robust ~obs ?deadline:st.config.deadline ~budget ~data
-          ~start kern ~machine
+        Pipeline.run_robust ~obs ?deadline:st.config.deadline ~budget
+          ~data:t.t_data ~start:t.t_start ?rank:t.t_rank ?warm:t.t_warm
+          ?capture:t.t_capture t.t_kern ~machine
       in
       Trace.emit tracer (Trace.Span_end span);
       match result with
       | Error e -> raise (Grip_error.Error e)
       | Ok r ->
-          let m = Pipeline.measure_robust ~data r in
+          let m = Pipeline.measure_robust ~data:t.t_data r in
+          (* "warm" means the seed was actually restored into, not just
+             offered (a request shed straight to a rolled rung never
+             touches it) *)
+          let warm_used =
+            Metrics.counter obs.Obs.metrics "pipeline.warm_restores" > 0
+          in
           ( Pipeline.rung_name r.Pipeline.rung,
             Cache.schedule_digest r.Pipeline.program,
             m.Grip.Speedup.speedup,
             worker,
             ring,
-            obs )
+            obs,
+            warm_used )
     in
     let sup_obs = Obs.make ~trace:st.tracer ~metrics:st.registry () in
     let results, stats =
@@ -330,8 +436,14 @@ let process_wave st pool reqs =
     in
     if Supervisor.flagged stats then st.flagged <- true;
     List.iter2
-      (fun (key, kern, _data, _start, _fus) result ->
-        let waiters = List.rev !(Hashtbl.find tasks key) in
+      (fun t result ->
+        (* release the warm slot first, success or not: the pristine
+           snapshot survives whatever the run did to the graph *)
+        (match st.store with
+        | Some store when t.t_out ->
+            Store.checkin store t.t_kkey ~horizon:t.t_horizon
+        | _ -> ());
+        let waiters = List.rev !(Hashtbl.find tasks t.t_key) in
         match result with
         | Error e ->
             Metrics.incr st.registry "serve.errors.schedule";
@@ -339,7 +451,7 @@ let process_wave st pool reqs =
               (fun (conn, id, recv_at) ->
                 finish_request st conn ~id ~recv_at (Error e))
               waiters
-        | Ok (rung, digest, speedup, worker, ring, obs) ->
+        | Ok (rung, digest, speedup, worker, ring, obs, warm_used) ->
             (* a malformed worker registry degrades (counted, dropped)
                instead of killing the daemon *)
             (match Grip_error.merge_metrics ~into:st.registry obs.Obs.metrics with
@@ -350,19 +462,31 @@ let process_wave st pool reqs =
                 st.worker_events <-
                   (worker, Trace.ring_events r) :: st.worker_events)
               ring;
+            (match st.store with
+            | Some store ->
+                Option.iter
+                  (Store.admit store t.t_kkey ~width:t.t_fus ~now:(now ()))
+                  t.t_capture;
+                Metrics.gauge_set st.registry "serve.cache.t2.evictions"
+                  (float_of_int (Store.evictions store))
+            | None -> ());
             let evictions =
-              Cache.add st.cache key ~rung ~digest ~speedup ~now:(now ())
+              Cache.add st.cache t.t_key ~rung ~digest ~speedup ~now:(now ())
             in
             Metrics.add st.registry "serve.cache.evictions" evictions;
+            let hdr2 = if warm_used then st.hdr_warm else st.hdr_cold in
             List.iteri
               (fun i (conn, id, recv_at) ->
-                finish_request st conn ~id ~recv_at
+                finish_request ~hdr2 st conn ~id ~recv_at
                   (Ok
                      {
-                       Protocol.rkernel = kern.Grip.Kernel.name;
+                       Protocol.rkernel = t.t_kern.Grip.Kernel.name;
                        rung;
                        digest;
-                       cache = (if i = 0 then "miss" else "coalesced");
+                       cache =
+                         (if i > 0 then "coalesced"
+                          else if warm_used then "warm"
+                          else "miss");
                        speedup;
                        wall_ms = (now () -. recv_at) *. 1e3;
                      }))
@@ -371,14 +495,32 @@ let process_wave st pool reqs =
   end
 
 let render_metrics st =
+  let now = Unix.gettimeofday () in
   Metrics.gauge_set st.registry "serve.cache.size"
     (float_of_int (Cache.size st.cache));
+  Metrics.gauge_set st.registry "serve.cache.bytes"
+    (float_of_int (Cache.bytes st.cache));
   Metrics.gauge_set st.registry "serve.cache.age_seconds"
-    (Cache.oldest_age st.cache ~now:(Unix.gettimeofday ()));
-  Metrics.gauge_set st.registry "serve.uptime_seconds"
-    (Unix.gettimeofday () -. st.t0);
+    (Cache.oldest_age st.cache ~now);
+  (match st.store with
+  | None -> ()
+  | Some store ->
+      Metrics.gauge_set st.registry "serve.cache.t2.size"
+        (float_of_int (Store.size store));
+      Metrics.gauge_set st.registry "serve.cache.t2.bytes"
+        (float_of_int (Store.bytes store));
+      Metrics.gauge_set st.registry "serve.cache.t2.age_seconds"
+        (Store.oldest_age store ~now);
+      Metrics.gauge_set st.registry "serve.cache.t2.evictions"
+        (float_of_int (Store.evictions store)));
+  Metrics.gauge_set st.registry "serve.uptime_seconds" (now -. st.t0);
   Grip_obs.Openmetrics.render
-    ~hdrs:[ ("serve.latency_us", st.hdr) ]
+    ~hdrs:
+      [
+        ("serve.latency_us", st.hdr);
+        ("serve.latency.cold_us", st.hdr_cold);
+        ("serve.latency.warm_miss_us", st.hdr_warm);
+      ]
     st.registry
 
 let write_trace_file st path =
@@ -463,9 +605,18 @@ let run config =
           config;
           registry = Metrics.create ();
           hdr = Hdr.create ();
+          hdr_cold = Hdr.create ();
+          hdr_warm = Hdr.create ();
           ring;
           tracer;
           cache = Cache.create ~capacity:config.cache_capacity;
+          store =
+            (if config.analysis_cache_mb > 0 then
+               Some
+                 (Store.create
+                    ~budget_bytes:(config.analysis_cache_mb * 1024 * 1024))
+             else None);
+          resolve_memo = Hashtbl.create 64;
           rt =
             (if config.gap_threshold <> None then Some (Obs.Runtime.start ())
              else None);
@@ -475,9 +626,10 @@ let run config =
           t0 = Unix.gettimeofday ();
         }
       in
-      Format.eprintf "grip: serving on %a (jobs=%d queue=%d cache=%d)@."
+      Format.eprintf
+        "grip: serving on %a (jobs=%d queue=%d cache=%d analysis-cache=%dMB)@."
         pp_addr config.addr config.jobs config.queue_limit
-        config.cache_capacity;
+        config.cache_capacity config.analysis_cache_mb;
       let conns = ref [] in
       let shutdown = ref false in
       let close_conn conn =

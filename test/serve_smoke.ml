@@ -81,6 +81,34 @@ let () =
         fus)
     Workloads.Livermore.all;
   check "sweep covered all 42 cells" (!cells = 42);
+  (* -- tier-2 warm path: same kernel, new FU count -------------------------- *)
+  (* "abc" was not in the sweep, so fu=2 is a genuine cold miss; fu=4
+     shares the fu=2 unwinding horizon, so its slot is a warm checkout
+     and the reply must say so — with the digest still byte-identical
+     to the offline cold pipeline at fu=4. *)
+  let abc fu =
+    match
+      Client.schedule client
+        { Protocol.kernel = Some "abc"; source = None; fus = fu;
+          method_ = "grip" }
+    with
+    | Ok reply -> reply
+    | Error msg -> fatal "serve abc fu%d: %s" fu msg
+  in
+  let cold = abc 2 in
+  check "abc fu2 is a cold miss" (cold.Protocol.cache = "miss");
+  let warm = abc 4 in
+  check "abc fu4 is served warm" (warm.Protocol.cache = "warm");
+  let abc_offline =
+    match
+      Grip.Pipeline.run_robust ~data:Grip.Kernel.default_data
+        Workloads.Paper_examples.abc
+        ~machine:(Vliw_machine.Machine.homogeneous 4)
+    with
+    | Ok r -> Cache.schedule_digest r.Grip.Pipeline.program
+    | Error err -> fatal "offline abc fu4: %s" (Grip_robust.Grip_error.to_string err)
+  in
+  check "warm abc fu4 digest == offline" (warm.Protocol.digest = abc_offline);
   (* -- open-loop burst ------------------------------------------------------ *)
   let templates =
     List.concat_map
@@ -126,8 +154,26 @@ let () =
             [
               "grip_serve_requests"; "grip_serve_cache_hits";
               "grip_serve_cache_misses"; "grip_serve_cache_evictions";
-              "grip_serve_latency_us"; "grip_pool_queue_depth";
-            ]));
+              "grip_serve_cache_bytes"; "grip_serve_cache_t2_hits";
+              "grip_serve_cache_t2_misses"; "grip_serve_cache_t2_bytes";
+              "grip_serve_latency_us"; "grip_serve_latency_cold_us";
+              "grip_serve_latency_warm_miss_us"; "grip_pool_queue_depth";
+            ];
+          (* the 42-cell sweep revisits each kernel at 3 FU counts, so
+             cross-FU reuse must have fired: tier-2 warm hits > 0 *)
+          let sample name =
+            List.fold_left
+              (fun acc f ->
+                if f.Openmetrics.fname = name then
+                  match f.Openmetrics.samples with
+                  | (_, v) :: _ -> Some v
+                  | [] -> acc
+                else acc)
+              None families
+          in
+          (match sample "grip_serve_cache_t2_hits" with
+          | Some v -> check "tier-2 warm hits > 0" (v > 0.0)
+          | None -> check "tier-2 hit counter sampled" false)));
   (* -- clean shutdown ------------------------------------------------------- *)
   (match Client.shutdown client with
   | Ok () -> ()

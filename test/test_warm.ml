@@ -1,0 +1,145 @@
+(* Warm-path scheduling (tier-2 analysis reuse): a run seeded from a
+   prior run's captured analysis — pristine graph snapshot, rank
+   closure, dominator arena, legality memo — must replay byte-identical
+   to the cold pipeline at every issue width, and snapshots that no
+   longer speak for the seeding graph (stale version delta, node-count
+   mismatch) must be rejected at seed time. *)
+
+module Machine = Vliw_machine.Machine
+module Pipeline = Grip.Pipeline
+module Ctx = Vliw_percolation.Ctx
+module Cache = Grip_serve.Cache
+module Synthetic = Workloads.Synthetic
+
+let spec_gen =
+  QCheck2.Gen.(
+    let* seed = int_range 1 1_000_000 in
+    let* n_ops = int_range 3 8 in
+    let* n_arrays = int_range 1 3 in
+    let* p_load = float_range 0.1 0.5 in
+    let* p_store = float_range 0.05 0.4 in
+    let* p_recurrence = float_range 0.0 0.5 in
+    return { Synthetic.seed; n_ops; n_arrays; p_load; p_store; p_recurrence })
+
+let print_spec (s : Synthetic.spec) =
+  Printf.sprintf "{seed=%d; n_ops=%d; n_arrays=%d; p=(%.2f,%.2f,%.2f)}"
+    s.Synthetic.seed s.Synthetic.n_ops s.Synthetic.n_arrays s.Synthetic.p_load
+    s.Synthetic.p_store s.Synthetic.p_recurrence
+
+let horizon = 10
+
+let run ?warm ?capture kern fus =
+  match
+    Pipeline.run_robust ?warm ?capture ~horizon ~data:Synthetic.data kern
+      ~machine:(Machine.homogeneous fus)
+  with
+  | Ok r -> Cache.schedule_digest r.Pipeline.program
+  | Error e -> failwith (Grip_robust.Grip_error.to_string e)
+
+let warm_of (c : Pipeline.captured) =
+  match (c.Pipeline.c_rank, c.Pipeline.c_program, c.Pipeline.c_snapshot) with
+  | Some w_rank, Some w_program, Some w_snapshot ->
+      {
+        Pipeline.w_rank;
+        w_horizon = c.Pipeline.c_horizon;
+        w_program;
+        w_snapshot;
+        w_dom = c.Pipeline.c_dom;
+        w_memo = c.Pipeline.c_memo;
+      }
+  | _ -> failwith "capture incomplete: no pipelining rung won"
+
+(* The tier-2 contract: a width-2 capture seeds runs at 2 (full memo),
+   4 and 8 (portable-verdict subset) FUs, and every seeded schedule is
+   byte-identical to the cold one at that width. *)
+let prop_warm_identical =
+  QCheck2.Test.make ~name:"tier-2 seeded replay byte-identical at 2/4/8 FUs"
+    ~count:8 ~print:print_spec spec_gen (fun spec ->
+      let kern = Synthetic.generate spec in
+      let cap = Pipeline.fresh_capture () in
+      let cold2 = run ~capture:cap kern 2 in
+      let cold4 = run kern 4 in
+      let cold8 = run kern 8 in
+      let warm = warm_of cap in
+      run ~warm kern 2 = cold2
+      && run ~warm kern 4 = cold4
+      && run ~warm kern 8 = cold8)
+
+(* -- targeted memo-snapshot validation ----------------------------------- *)
+
+let ll1 = (Option.get (Workloads.Livermore.find "LL1")).Workloads.Livermore.kernel
+
+let mk_ctx kern fus =
+  let u = Grip.Unwind.build kern ~horizon in
+  let p = u.Grip.Unwind.program in
+  ignore
+    (Vliw_percolation.Redundant.cleanup p
+       ~exit_live:(Grip.Kernel.exit_live kern));
+  Ctx.make p ~machine:(Machine.homogeneous fus)
+    ~exit_live:(Grip.Kernel.exit_live kern)
+
+(* Schedule once with capture armed: yields the pristine delta-0
+   snapshot (via the capture-at-clear hook) and a context whose live
+   tables have a real, positive version delta. *)
+let scheduled_ctx fus =
+  let ctx = mk_ctx ll1 fus in
+  Ctx.arm_capture ctx;
+  let rank = Pipeline.default_rank ll1 in
+  ignore (Grip.Scheduler.run (Grip.Scheduler.default_config ~rank) ctx);
+  ctx
+
+let test_pristine_seeds () =
+  let snap = Option.get (Ctx.capture (scheduled_ctx 2)) in
+  Alcotest.(check int) "pristine delta" 0 snap.Ctx.ms_delta;
+  match Ctx.seed_memo (mk_ctx ll1 2) snap with
+  | Ok n -> Alcotest.(check bool) "verdicts installed" true (n > 0)
+  | Error e -> Alcotest.fail ("pristine snapshot rejected: " ^ e)
+
+let test_cross_width_seeds () =
+  let snap = Option.get (Ctx.capture (scheduled_ctx 2)) in
+  match Ctx.seed_memo (mk_ctx ll1 4) snap with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail ("cross-width seed rejected: " ^ e)
+
+let test_stale_rejected () =
+  let ctx = scheduled_ctx 2 in
+  (* manufactured bump: a pristine snapshot whose version moved on *)
+  let snap = { (Option.get (Ctx.capture ctx)) with Ctx.ms_delta = 1 } in
+  (match Ctx.seed_memo (mk_ctx ll1 2) snap with
+  | Ok n -> Alcotest.fail (Printf.sprintf "stale snapshot seeded %d verdicts" n)
+  | Error _ -> ());
+  (* the real thing: post-scheduling live tables carry their actual
+     delta from the armed base, which must be positive after moves *)
+  let live = Ctx.memo_snapshot_now ctx in
+  Alcotest.(check bool) "live delta positive" true (live.Ctx.ms_delta > 0);
+  match Ctx.seed_memo (mk_ctx ll1 2) live with
+  | Ok n -> Alcotest.fail (Printf.sprintf "live snapshot seeded %d verdicts" n)
+  | Error _ -> ()
+
+let test_node_mismatch_rejected () =
+  let snap = Option.get (Ctx.capture (scheduled_ctx 2)) in
+  let bad = { snap with Ctx.ms_nodes = snap.Ctx.ms_nodes + 1 } in
+  match Ctx.seed_memo (mk_ctx ll1 2) bad with
+  | Ok n -> Alcotest.fail (Printf.sprintf "mismatched snapshot seeded %d" n)
+  | Error _ -> ()
+
+let () =
+  (* deterministic property runs: qcheck reseeds from the clock
+     otherwise, and rare seeds can drive the schedulers into very slow
+     corner cases *)
+  if Sys.getenv_opt "QCHECK_SEED" = None then Unix.putenv "QCHECK_SEED" "20260809";
+  Alcotest.run "warm"
+    [
+      ("qcheck", [ QCheck_alcotest.to_alcotest prop_warm_identical ]);
+      ( "memo-snapshot",
+        [
+          Alcotest.test_case "pristine snapshot seeds" `Quick
+            test_pristine_seeds;
+          Alcotest.test_case "cross-width seed accepted" `Quick
+            test_cross_width_seeds;
+          Alcotest.test_case "stale snapshot rejected" `Quick
+            test_stale_rejected;
+          Alcotest.test_case "node-count mismatch rejected" `Quick
+            test_node_mismatch_rejected;
+        ] );
+    ]
